@@ -1,0 +1,217 @@
+package trsparse
+
+// One benchmark per table and figure of the paper's evaluation (§4).
+// Each benchmark runs the corresponding internal/bench driver at a reduced
+// scale (override with REPRO_BENCH_SCALE, e.g. REPRO_BENCH_SCALE=1 for the
+// default downsized case sizes, larger to approach paper scale) and
+// reports the headline quantities as custom benchmark metrics, so
+//
+//	go test -bench . -benchmem
+//
+// regenerates the entire evaluation in one command. cmd/experiments prints
+// the full formatted tables instead.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/sparsify"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("REPRO_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.25
+}
+
+// BenchmarkTable1 regenerates Table 1 (sparsification quality: Ts, κ, Ni,
+// Ti for GRASS vs the proposed algorithm) across all ten cases.
+func BenchmarkTable1(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable1(bench.Table1Options{Scale: scale, Seed: 1}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var kSum, tSum float64
+		for _, r := range rows {
+			kSum += r.KappaRatio
+			tSum += r.TiRatio
+		}
+		b.ReportMetric(kSum/float64(len(rows)), "κ-reduction")
+		b.ReportMetric(tSum/float64(len(rows)), "Ti-reduction")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (power-grid transient simulation:
+// direct vs GRASS-PCG vs proposed-PCG).
+func BenchmarkTable2(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable2(bench.Table2Options{Scale: scale, Seed: 2}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sp1, sp2 float64
+		for _, r := range rows {
+			sp1 += r.Sp1
+			sp2 += r.Sp2
+		}
+		b.ReportMetric(sp1/float64(len(rows)), "Sp1-direct/prop")
+		b.ReportMetric(sp2/float64(len(rows)), "Sp2-grass/prop")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (Fiedler vector computation:
+// direct vs sparsifier-preconditioned PCG).
+func BenchmarkTable3(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable3(bench.Table3Options{Scale: scale, Seed: 3}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sp1, sp2, rel float64
+		for _, r := range rows {
+			sp1 += r.Sp1
+			sp2 += r.Sp2
+			rel += r.PropRelErr
+		}
+		n := float64(len(rows))
+		b.ReportMetric(sp1/n, "Sp1-direct/prop")
+		b.ReportMetric(sp2/n, "Sp2-grass/prop")
+		b.ReportMetric(rel/n, "RelErr")
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (direct vs iterative transient
+// waveforms of a VDD and a GND node; the paper reports <16 mV deviation).
+func BenchmarkFig1(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		series, err := bench.RunFig1(bench.Fig1Options{Scale: scale, Seed: 4}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64
+		for _, s := range series {
+			if s.MaxDev > worst {
+				worst = s.MaxDev
+			}
+		}
+		b.ReportMetric(worst*1e3, "maxdev-mV")
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (transient runtime vs fraction of
+// recovered off-tree edges, GRASS vs proposed).
+func BenchmarkFig2(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.RunFig2(bench.Fig2Options{Scale: scale, Seed: 5}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the advantage at the sparsest and densest points.
+		first := pts[0]
+		last := pts[len(pts)-1]
+		b.ReportMetric(float64(first.GRASSTtr)/float64(first.PropTtr), "adv@0.05")
+		b.ReportMetric(float64(last.GRASSTtr)/float64(last.PropTtr), "adv@0.20")
+	}
+}
+
+// BenchmarkSparsifyMethods times raw sparsifier construction per method on
+// a fixed mesh — the Ts column in isolation.
+func BenchmarkSparsifyMethods(b *testing.B) {
+	g := gen.Tri2D(120, 120, 7)
+	for _, m := range []sparsify.Method{sparsify.TraceReduction, sparsify.GRASS, sparsify.FeGRASS} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sparsify.Sparsify(g, sparsify.Options{Method: m, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBeta quantifies the β truncation depth tradeoff of
+// eq. (12): deeper BFS costs more scoring time without improving (and
+// often slightly worsening) batch selection quality.
+func BenchmarkAblationBeta(b *testing.B) {
+	g := gen.Tri2D(90, 90, 9)
+	for _, beta := range []int{2, 5, 10} {
+		b.Run(fmt.Sprintf("beta=%d", beta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sparsify.Sparsify(g, sparsify.Options{Seed: 1, Beta: beta})
+				if err != nil {
+					b.Fatal(err)
+				}
+				kappa, err := CondNumber(g, res.Sparsifier, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(kappa, "κ")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDelta quantifies the SPAI pruning threshold δ of
+// Algorithm 1: looser pruning (smaller δ) keeps more of L⁻¹, costing time
+// for marginal quality.
+func BenchmarkAblationDelta(b *testing.B) {
+	g := gen.Tri2D(90, 90, 10)
+	for _, delta := range []float64{0.02, 0.1, 0.3} {
+		b.Run(fmt.Sprintf("delta=%g", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sparsify.Sparsify(g, sparsify.Options{Seed: 1, Delta: delta})
+				if err != nil {
+					b.Fatal(err)
+				}
+				kappa, err := CondNumber(g, res.Sparsifier, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(kappa, "κ")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationExclusion quantifies the design choice DESIGN.md calls
+// out: the feGRASS path-corridor exclusion vs the weaker endpoint-ball
+// filter vs none, measured by the resulting condition number.
+func BenchmarkAblationExclusion(b *testing.B) {
+	g := gen.Tri2D(100, 100, 8)
+	for _, cfg := range []struct {
+		name string
+		opts sparsify.Options
+	}{
+		{"corridor-s2", sparsify.Options{Seed: 1, SimilarityHops: 2}},
+		{"corridor-s4", sparsify.Options{Seed: 1, SimilarityHops: 4}},
+		{"disabled", sparsify.Options{Seed: 1, SimilarityHops: -1}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sparsify.Sparsify(g, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kappa, err := CondNumber(g, res.Sparsifier, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(kappa, "κ")
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+// Command experiments regenerates the paper's entire evaluation — Tables
+// 1–3 and Figures 1–2 — at a chosen scale, printing the tables to stdout
+// and writing the figure CSVs next to -out.
+//
+// Usage:
+//
+//	experiments                    # everything at the default (downsized) scale
+//	experiments -table 2           # just Table 2
+//	experiments -scale 4 -out /tmp # bigger graphs, CSVs in /tmp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+import "repro/internal/bench"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	table := flag.Int("table", 0, "run only this table (1–3); 0 = all tables and figures")
+	figs := flag.Bool("figs", true, "run figures 1 and 2 (when -table is 0)")
+	scale := flag.Float64("scale", 1, "case size multiplier (1 = downsized defaults; ~70 ≈ paper sizes)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", ".", "directory for figure CSV outputs")
+	flag.Parse()
+
+	runTable := func(n int) bool { return *table == 0 || *table == n }
+
+	if runTable(1) {
+		fmt.Println()
+		if _, err := bench.RunTable1(bench.Table1Options{Scale: *scale, Seed: *seed}, os.Stdout); err != nil {
+			log.Fatalf("table 1: %v", err)
+		}
+	}
+	if runTable(2) {
+		fmt.Println()
+		if _, err := bench.RunTable2(bench.Table2Options{Scale: *scale, Seed: *seed}, os.Stdout); err != nil {
+			log.Fatalf("table 2: %v", err)
+		}
+	}
+	if runTable(3) {
+		fmt.Println()
+		if _, err := bench.RunTable3(bench.Table3Options{Scale: *scale, Seed: *seed}, os.Stdout); err != nil {
+			log.Fatalf("table 3: %v", err)
+		}
+	}
+	if *table == 0 && *figs {
+		fig1Path := filepath.Join(*out, "fig1_waveforms.csv")
+		f1, err := os.Create(fig1Path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		series, err := bench.RunFig1(bench.Fig1Options{Scale: *scale, Seed: *seed}, f1)
+		f1.Close()
+		if err != nil {
+			log.Fatalf("fig 1: %v", err)
+		}
+		fmt.Println()
+		fmt.Printf("Figure 1 → %s\n", fig1Path)
+		for _, s := range series {
+			fmt.Printf("  %s net (node %d): max |direct − iterative| = %.3g mV (paper: <16 mV)\n",
+				s.Net, s.Node, s.MaxDev*1e3)
+		}
+
+		fig2Path := filepath.Join(*out, "fig2_tradeoff.csv")
+		f2, err := os.Create(fig2Path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts, err := bench.RunFig2(bench.Fig2Options{Scale: *scale, Seed: *seed}, f2)
+		f2.Close()
+		if err != nil {
+			log.Fatalf("fig 2: %v", err)
+		}
+		fmt.Printf("Figure 2 → %s\n", fig2Path)
+		for _, p := range pts {
+			fmt.Printf("  %.3f of edges recovered: GRASS %.3gs, proposed %.3gs\n",
+				p.Fraction, p.GRASSTtr.Seconds(), p.PropTtr.Seconds())
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Command partition computes the Fiedler vector of a benchmark graph by
+// inverse power iteration, comparing the direct sparse solver with the
+// sparsifier-preconditioned PCG solvers (the paper's Table 3), and reports
+// the spectral bipartition disagreement.
+//
+// Usage:
+//
+//	partition -case ecology2 -scale 1
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("partition: ")
+
+	caseName := flag.String("case", "ecology2", "benchmark case (Table 3 uses the first five Table 1 cases)")
+	scale := flag.Float64("scale", 1, "size multiplier")
+	seed := flag.Int64("seed", 1, "random seed")
+	steps := flag.Int("steps", 5, "inverse power iteration steps")
+	flag.Parse()
+
+	c, err := gen.ByName(*caseName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bench.RunTable3(bench.Table3Options{
+		Scale: *scale, Cases: []gen.Case{c}, Seed: *seed, Steps: *steps,
+	}, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Power-grid IR-drop analysis: the paper's motivating application (§4.2).
+//
+// Synthesizes a three-layer power grid with pulse current loads, runs
+// backward-Euler transient analysis to 5 ns with (a) the fixed-step direct
+// solver and (b) the varied-step PCG solver preconditioned by a
+// trace-reduction sparsifier of the grid, and compares runtime, memory,
+// and waveform agreement at the worst IR-drop node.
+//
+//	go run ./examples/powergrid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chol"
+	"repro/internal/pg"
+	"repro/internal/sparsify"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	grid, err := pg.Synthesize(pg.Config{NX: 60, NY: 60, Layers: 3, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("power grid: %d nodes, %d resistors, %d pads, %d current loads\n",
+		grid.N, grid.G.M(), len(grid.PadNodes), len(grid.Sources))
+	fmt.Printf("fixed-step limit (min breakpoint gap): %.0f ps\n",
+		grid.MinBreakpointGap(5e-9)*1e12)
+
+	// Pick the node with the deepest droop at the first load peak.
+	fdc, err := chol.New(grid.ConductanceMatrix(), chol.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := make([]float64, grid.N)
+	grid.RHS(1.2e-9, u)
+	probe := pg.WorstProbe(grid, fdc.Solve(u))
+
+	direct, err := pg.SimulateDirect(grid, pg.TransientOpts{Probes: []int{probe}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndirect (fixed 10 ps): %d steps, %v, factor %.1f MB\n",
+		direct.Steps, direct.SimTime, float64(direct.MemBytes)/(1<<20))
+
+	sp, err := sparsify.Sparsify(grid.G, sparsify.Options{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pf, err := chol.New(grid.SparsifiedConductance(sp.Sparsifier), chol.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	iter, err := pg.SimulateIterative(grid, pf, pg.TransientOpts{Probes: []int{probe}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iterative (varied ≤200 ps, trace-reduction preconditioner): %d steps, "+
+		"%.1f avg PCG iters, %v, factor %.1f MB\n",
+		iter.Steps, iter.AvgIter, iter.SimTime, float64(iter.MemBytes)/(1<<20))
+	fmt.Printf("sparsification took %v for %d edges\n", sp.Stats.Total, len(sp.EdgeIdx))
+
+	dev := pg.MaxAbsDiff(iter.Probes[probe], direct.Probes[probe])
+	vmin := grid.Cfg.VDD
+	for _, s := range direct.Probes[probe] {
+		if s.V < vmin {
+			vmin = s.V
+		}
+	}
+	fmt.Printf("\nworst node %d: max IR drop %.1f mV; direct-vs-iterative deviation %.2f mV (paper: <16 mV)\n",
+		probe, (grid.Cfg.VDD-vmin)*1e3, dev*1e3)
+	fmt.Printf("speedup %.1fx, memory reduction %.1fx\n",
+		float64(direct.SimTime)/float64(iter.SimTime),
+		float64(direct.MemBytes)/float64(iter.MemBytes))
+}

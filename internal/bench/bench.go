@@ -1,0 +1,46 @@
+// Package bench contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§4): Table 1 (sparsification
+// quality), Table 2 (power-grid transient simulation), Table 3 (spectral
+// partitioning / Fiedler vectors), Figure 1 (transient waveforms), and
+// Figure 2 (sparsity–runtime tradeoff). Each driver prints rows in the
+// paper's format and returns structured results so tests can assert the
+// shape of the comparison.
+//
+// Absolute numbers differ from the paper (Go vs C++, synthetic vs
+// SuiteSparse/IBM inputs, scaled-down default sizes — see DESIGN.md §4);
+// the drivers exist to reproduce who wins, by roughly what factor, and
+// where crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// fmtDur renders a duration in seconds with three significant digits, the
+// unit the paper's tables use.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3g", d.Seconds())
+}
+
+// fmtBytes renders byte counts like the paper's Mem column.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// tee avoids nil-writer checks at call sites.
+func tee(w io.Writer) io.Writer {
+	if w == nil {
+		return io.Discard
+	}
+	return w
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// Tiny scales keep the driver tests fast; the real runs happen through
+// cmd/experiments and the root benchmarks.
+const testScale = 0.12
+
+func TestRunTable1SmokeAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver test")
+	}
+	var buf bytes.Buffer
+	rows, err := RunTable1(Table1Options{
+		Scale: testScale,
+		Cases: gen.Table1Cases()[:3],
+		Seed:  1,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.GRASS.Kappa <= 0 || r.Proposed.Kappa <= 0 {
+			t.Errorf("%s: missing κ", r.Case)
+		}
+		if r.GRASS.Ni <= 0 || r.Proposed.Ni <= 0 {
+			t.Errorf("%s: missing PCG iterations", r.Case)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ecology2") || !strings.Contains(out, "Average") {
+		t.Error("formatted table missing expected rows")
+	}
+}
+
+func TestRunTable2SmokeAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver test")
+	}
+	var buf bytes.Buffer
+	rows, err := RunTable2(Table2Options{
+		Scale: testScale,
+		Cases: PGCases()[:2],
+		Seed:  2,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.PropNa <= 0 || r.GRASSNa <= 0 {
+			t.Errorf("%s: missing iteration counts", r.Case)
+		}
+		// The iterative memory advantage is the paper's central Table 2
+		// claim and holds at any scale (sparsifier factor ≪ full factor).
+		if r.PropMem >= r.DirectMem {
+			t.Errorf("%s: proposed mem %d not below direct %d", r.Case, r.PropMem, r.DirectMem)
+		}
+	}
+	if !strings.Contains(buf.String(), "ibmpg3t") {
+		t.Error("formatted table missing case name")
+	}
+}
+
+func TestRunFig1WaveformAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver test")
+	}
+	var buf bytes.Buffer
+	series, err := RunFig1(Fig1Options{Scale: testScale, Seed: 3, Horizon: 3e-9}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series, want 2 (vdd + gnd)", len(series))
+	}
+	for _, s := range series {
+		if len(s.Direct) == 0 || len(s.Iterative) == 0 {
+			t.Fatalf("%s: empty waveform", s.Net)
+		}
+		// The paper reports <16 mV deviation for ibmpg4t.
+		if s.MaxDev > 0.016 {
+			t.Errorf("%s: waveform deviation %g V exceeds 16 mV", s.Net, s.MaxDev)
+		}
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "net,t_ns,v_direct,v_iterative") {
+		t.Error("CSV header missing")
+	}
+	if !strings.Contains(out, "vdd,") || !strings.Contains(out, "gnd,") {
+		t.Error("CSV missing nets")
+	}
+}
+
+func TestRunFig2Tradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver test")
+	}
+	var buf bytes.Buffer
+	pts, err := RunFig2(Fig2Options{
+		Scale:     testScale,
+		Seed:      4,
+		Horizon:   3e-9,
+		Fractions: []float64{0.05, 0.15},
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	// More recovered edges must not increase PCG work (Fig 2's shape).
+	if pts[1].PropNa > pts[0].PropNa {
+		t.Errorf("Na rose with density: %g → %g", pts[0].PropNa, pts[1].PropNa)
+	}
+	if !strings.Contains(buf.String(), "fraction,") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestRunTable3SmokeAndShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver test")
+	}
+	var buf bytes.Buffer
+	rows, err := RunTable3(Table3Options{
+		Scale: testScale,
+		Cases: gen.Table3Cases()[:2],
+		Seed:  5,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		// RelErr should be tiny (the paper reports ~1e-3–5e-3).
+		if r.PropRelErr > 0.05 {
+			t.Errorf("%s: RelErr %g too large", r.Case, r.PropRelErr)
+		}
+		if r.PropMem >= r.DirectMem {
+			t.Errorf("%s: no memory advantage", r.Case)
+		}
+		if r.PropNa <= 0 {
+			t.Errorf("%s: missing Na", r.Case)
+		}
+	}
+}

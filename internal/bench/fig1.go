@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/chol"
+	"repro/internal/pg"
+	"repro/internal/sparsify"
+)
+
+// Fig1Series holds one net's waveform pair for Figure 1.
+type Fig1Series struct {
+	Net       string // "vdd" or "gnd"
+	Node      int
+	Direct    []pg.Sample
+	Iterative []pg.Sample
+	MaxDev    float64 // max |direct − iterative| (the paper reports <16 mV)
+}
+
+// Fig1Options configures RunFig1.
+type Fig1Options struct {
+	Scale   float64
+	Seed    int64
+	Horizon float64
+}
+
+// RunFig1 regenerates Figure 1: the transient waveform of the worst VDD
+// node and the worst GND node of the ibmpg4t analog, simulated by the
+// direct solver and the proposed iterative solver. CSV is written to w as
+// (net, t_ns, v_direct, v_iterative) rows.
+func RunFig1(opts Fig1Options, w io.Writer) ([]Fig1Series, error) {
+	w = tee(w)
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = 5e-9
+	}
+	c := PGCases()[1] // ibmpg4t, as in the paper
+	var out []Fig1Series
+	fmt.Fprintln(w, "net,t_ns,v_direct,v_iterative")
+	for _, ground := range []bool{false, true} {
+		grid, err := SynthesizeCase(c, opts.Scale, opts.Seed, ground)
+		if err != nil {
+			return out, fmt.Errorf("bench: fig 1: %w", err)
+		}
+		// DC solve to find the most interesting node to plot.
+		fdc, err := chol.New(grid.ConductanceMatrix(), chol.Options{})
+		if err != nil {
+			return out, err
+		}
+		u := make([]float64, grid.N)
+		// Probe selection uses the first pulse peak so load effects show.
+		grid.RHS(1.2e-9, u)
+		probe := pg.WorstProbe(grid, fdc.Solve(u))
+
+		direct, err := pg.SimulateDirect(grid, pg.TransientOpts{Horizon: horizon, Probes: []int{probe}})
+		if err != nil {
+			return out, fmt.Errorf("bench: fig 1 direct: %w", err)
+		}
+		sp, err := sparsify.Sparsify(grid.G, sparsify.Options{Seed: opts.Seed})
+		if err != nil {
+			return out, err
+		}
+		pf, err := chol.New(grid.SparsifiedConductance(sp.Sparsifier), chol.Options{})
+		if err != nil {
+			return out, err
+		}
+		iter, err := pg.SimulateIterative(grid, pf, pg.TransientOpts{Horizon: horizon, Probes: []int{probe}})
+		if err != nil {
+			return out, fmt.Errorf("bench: fig 1 iterative: %w", err)
+		}
+		net := "vdd"
+		if ground {
+			net = "gnd"
+		}
+		s := Fig1Series{
+			Net: net, Node: probe,
+			Direct:    direct.Probes[probe],
+			Iterative: iter.Probes[probe],
+			MaxDev:    pg.MaxAbsDiff(iter.Probes[probe], direct.Probes[probe]),
+		}
+		out = append(out, s)
+		for _, smp := range s.Iterative {
+			// Interpolate the dense direct waveform at the iterative times.
+			vd := interpolate(s.Direct, smp.T)
+			fmt.Fprintf(w, "%s,%.4f,%.6f,%.6f\n", net, smp.T*1e9, vd, smp.V)
+		}
+	}
+	return out, nil
+}
+
+func interpolate(s []pg.Sample, t float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	j := 0
+	for j+1 < len(s) && s[j+1].T <= t {
+		j++
+	}
+	if j+1 >= len(s) || s[j+1].T == s[j].T {
+		return s[j].V
+	}
+	frac := (t - s[j].T) / (s[j+1].T - s[j].T)
+	return s[j].V + frac*(s[j+1].V-s[j].V)
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/chol"
+	"repro/internal/pg"
+	"repro/internal/sparsify"
+)
+
+// Fig2Point is one point of the sparsity–runtime tradeoff curve.
+type Fig2Point struct {
+	Fraction float64 // proportion of off-tree edges recovered
+	GRASSTtr time.Duration
+	PropTtr  time.Duration
+	GRASSNa  float64
+	PropNa   float64
+}
+
+// Fig2Options configures RunFig2.
+type Fig2Options struct {
+	Scale     float64
+	Seed      int64
+	Horizon   float64
+	Fractions []float64 // default 0.05, 0.075, …, 0.20 (the paper's sweep)
+}
+
+// RunFig2 regenerates Figure 2: transient runtime of the ibmpg4t analog as
+// a function of the proportion of recovered off-tree edges, for the GRASS
+// and proposed preconditioners. CSV rows: fraction, ttr_grass_s,
+// ttr_proposed_s, na_grass, na_proposed.
+func RunFig2(opts Fig2Options, w io.Writer) ([]Fig2Point, error) {
+	w = tee(w)
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = 5e-9
+	}
+	fractions := opts.Fractions
+	if fractions == nil {
+		fractions = []float64{0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20}
+	}
+	grid, err := SynthesizeCase(PGCases()[1], opts.Scale, opts.Seed, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig 2: %w", err)
+	}
+	fmt.Fprintln(w, "fraction,ttr_grass_s,ttr_proposed_s,na_grass,na_proposed")
+	var out []Fig2Point
+	for _, frac := range fractions {
+		p := Fig2Point{Fraction: frac}
+		for _, m := range []sparsify.Method{sparsify.GRASS, sparsify.TraceReduction} {
+			sp, err := sparsify.Sparsify(grid.G, sparsify.Options{Method: m, Alpha: frac, Seed: opts.Seed})
+			if err != nil {
+				return out, err
+			}
+			pf, err := chol.New(grid.SparsifiedConductance(sp.Sparsifier), chol.Options{})
+			if err != nil {
+				return out, err
+			}
+			res, err := pg.SimulateIterative(grid, pf, pg.TransientOpts{Horizon: horizon})
+			if err != nil {
+				return out, fmt.Errorf("bench: fig 2 frac %g method %v: %w", frac, m, err)
+			}
+			if m == sparsify.GRASS {
+				p.GRASSTtr, p.GRASSNa = res.SimTime, res.AvgIter
+			} else {
+				p.PropTtr, p.PropNa = res.SimTime, res.AvgIter
+			}
+		}
+		out = append(out, p)
+		fmt.Fprintf(w, "%.3f,%.4f,%.4f,%.1f,%.1f\n",
+			p.Fraction, p.GRASSTtr.Seconds(), p.PropTtr.Seconds(), p.GRASSNa, p.PropNa)
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/sparsify"
+)
+
+// MethodStats is one method's half of a Table 1 row.
+type MethodStats struct {
+	Ts    time.Duration // sparsifier construction time
+	Kappa float64       // relative condition number κ(L_G, L_P)
+	Ni    int           // PCG iterations to rtol 1e-3
+	Ti    time.Duration // PCG time
+}
+
+// Table1Row mirrors one row of the paper's Table 1.
+type Table1Row struct {
+	Case     string
+	N, M     int
+	GRASS    MethodStats
+	Proposed MethodStats
+	// Reduction ratios (GRASS / Proposed), the paper's last columns.
+	KappaRatio, TiRatio float64
+}
+
+// Table1Options configures RunTable1.
+type Table1Options struct {
+	// Scale multiplies the default (downsized) case sizes; 1 by default.
+	Scale float64
+	// Cases overrides the case list (default gen.Table1Cases()).
+	Cases []gen.Case
+	Seed  int64
+	// LanczosSteps for the κ estimate (default 80).
+	LanczosSteps int
+}
+
+// RunTable1 regenerates Table 1: for every case, sparsify with GRASS and
+// with the proposed algorithm at the paper's parameters (10%·|V| off-tree
+// edges, five recovery rounds, PCG rtol 1e-3, random RHS), and report
+// Ts / κ / Ni / Ti plus the reduction ratios.
+func RunTable1(opts Table1Options, w io.Writer) ([]Table1Row, error) {
+	w = tee(w)
+	cases := opts.Cases
+	if cases == nil {
+		cases = gen.Table1Cases()
+	}
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+
+	fmt.Fprintf(w, "Table 1: spectral graph sparsification (time in seconds, κ = relative condition number)\n")
+	fmt.Fprintf(w, "%-12s %9s %9s | %8s %8s %5s %8s | %8s %8s %5s %8s | %6s %6s\n",
+		"Case", "|V|", "|E|", "Ts", "kappa", "Ni", "Ti", "Ts", "kappa", "Ni", "Ti", "k-red", "Ti-red")
+	fmt.Fprintf(w, "%-12s %9s %9s | %41s | %41s |\n", "", "", "", "GRASS", "Proposed")
+
+	var rows []Table1Row
+	var kSum, tSum float64
+	for _, c := range cases {
+		g := c.Build(scale, opts.Seed+int64(len(rows)))
+		row := Table1Row{Case: c.Name, N: g.N, M: g.M()}
+
+		for _, m := range []sparsify.Method{sparsify.GRASS, sparsify.TraceReduction} {
+			out, err := core.Evaluate(g,
+				sparsify.Options{Method: m, Seed: opts.Seed},
+				core.EvalOptions{PCGTol: 1e-3, LanczosSteps: opts.LanczosSteps, Seed: opts.Seed})
+			if err != nil {
+				return rows, fmt.Errorf("bench: table 1 case %s method %v: %w", c.Name, m, err)
+			}
+			ms := MethodStats{Ts: out.SparsifyTime, Kappa: out.Kappa, Ni: out.PCGIters, Ti: out.PCGTime}
+			if m == sparsify.GRASS {
+				row.GRASS = ms
+			} else {
+				row.Proposed = ms
+			}
+		}
+		if row.Proposed.Kappa > 0 {
+			row.KappaRatio = row.GRASS.Kappa / row.Proposed.Kappa
+		}
+		if row.Proposed.Ti > 0 {
+			row.TiRatio = float64(row.GRASS.Ti) / float64(row.Proposed.Ti)
+		}
+		kSum += row.KappaRatio
+		tSum += row.TiRatio
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-12s %9d %9d | %8s %8.3g %5d %8s | %8s %8.3g %5d %8s | %5.1fX %5.1fX\n",
+			row.Case, row.N, row.M,
+			fmtDur(row.GRASS.Ts), row.GRASS.Kappa, row.GRASS.Ni, fmtDur(row.GRASS.Ti),
+			fmtDur(row.Proposed.Ts), row.Proposed.Kappa, row.Proposed.Ni, fmtDur(row.Proposed.Ti),
+			row.KappaRatio, row.TiRatio)
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "%-12s %9s %9s | %41s | %41s | %5.1fX %5.1fX\n",
+			"Average", "-", "-", "", "", kSum/float64(len(rows)), tSum/float64(len(rows)))
+	}
+	return rows, nil
+}

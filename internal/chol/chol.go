@@ -1,0 +1,270 @@
+// Package chol implements sparse Cholesky factorization P A Pᵀ = L Lᵀ for
+// symmetric positive definite matrices, in the up-looking style of CSparse:
+// elimination tree, per-row pattern via tree reach, and triangular solves.
+// It is the workhorse behind the direct solver baseline (the paper uses
+// CHOLMOD), the PCG preconditioner application, and the input to the
+// sparse-approximate-inverse construction of Algorithm 1.
+package chol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// ErrNotPD is returned when a nonpositive pivot is encountered.
+var ErrNotPD = errors.New("chol: matrix is not positive definite")
+
+// Factor is a sparse Cholesky factorization of a permuted matrix:
+// A[Perm[i], Perm[j]] = (L Lᵀ)[i, j].
+type Factor struct {
+	N    int
+	L    *sparse.CSC // lower triangular, diagonal first in each column
+	Perm []int       // perm[newIdx] = oldIdx
+	inv  []int       // inv[oldIdx] = newIdx
+}
+
+// EliminationTree computes the elimination tree of the symmetric matrix a
+// (full storage). parent[j] is j's parent, or -1 for roots.
+func EliminationTree(a *sparse.CSC) []int {
+	n := a.Cols
+	parent := make([]int, n)
+	ancestor := make([]int, n)
+	for k := 0; k < n; k++ {
+		parent[k] = -1
+		ancestor[k] = -1
+		for p := a.ColPtr[k]; p < a.ColPtr[k+1]; p++ {
+			i := a.RowIdx[p]
+			for i != -1 && i < k {
+				next := ancestor[i]
+				ancestor[i] = k
+				if next == -1 {
+					parent[i] = k
+				}
+				i = next
+			}
+		}
+	}
+	return parent
+}
+
+// ereach computes the nonzero pattern of row k of L: the set of columns
+// j < k with L[k,j] ≠ 0, in topological (ascending) order suitable for the
+// up-looking triangular solve. It returns the start index into s; the
+// pattern occupies s[top:n]. w is a workspace of flags (≥0 marked with k).
+func ereach(a *sparse.CSC, k int, parent []int, s, w []int) int {
+	n := a.Cols
+	top := n
+	w[k] = k
+	for p := a.ColPtr[k]; p < a.ColPtr[k+1]; p++ {
+		i := a.RowIdx[p]
+		if i >= k {
+			continue
+		}
+		// Walk up the etree from i until hitting a marked vertex.
+		length := 0
+		for ; w[i] != k; i = parent[i] {
+			s[length] = i
+			length++
+			w[i] = k
+		}
+		// Push path onto the output stack (reversed → topological).
+		for length > 0 {
+			length--
+			top--
+			s[top+0] = s[length]
+		}
+	}
+	return top
+}
+
+// Options configures New.
+type Options struct {
+	// Ordering method; order.Auto by default.
+	Ordering order.Method
+	// Perm overrides the computed ordering when non-nil.
+	Perm []int
+}
+
+// cscAdapter exposes a symmetric CSC matrix's off-diagonal structure as an
+// ordering adjacency.
+type cscAdapter struct{ a *sparse.CSC }
+
+func (c cscAdapter) Len() int { return c.a.Cols }
+func (c cscAdapter) Visit(u int, fn func(v int)) {
+	for p := c.a.ColPtr[u]; p < c.a.ColPtr[u+1]; p++ {
+		if v := c.a.RowIdx[p]; v != u {
+			fn(v)
+		}
+	}
+}
+
+// New factorizes the SPD matrix a (full symmetric storage) with the chosen
+// fill-reducing ordering.
+func New(a *sparse.CSC, opts Options) (*Factor, error) {
+	n := a.Cols
+	if a.Rows != n {
+		return nil, fmt.Errorf("chol: matrix must be square, got %dx%d", a.Rows, n)
+	}
+	perm := opts.Perm
+	if perm == nil {
+		perm = order.Compute(cscAdapter{a}, opts.Ordering)
+	}
+	if !order.Validate(perm, n) {
+		return nil, fmt.Errorf("chol: invalid permutation (length %d for n=%d)", len(perm), n)
+	}
+	c := a.PermuteSym(perm)
+	parent := EliminationTree(c)
+
+	// Pass 1: count nonzeros per column of L using ereach.
+	colCount := make([]int, n)
+	s := make([]int, n)
+	w := make([]int, n)
+	for i := range w {
+		w[i] = -1
+	}
+	for k := 0; k < n; k++ {
+		colCount[k]++ // diagonal
+		top := ereach(c, k, parent, s, w)
+		for t := top; t < n; t++ {
+			colCount[s[t]]++
+		}
+	}
+	l := &sparse.CSC{Rows: n, Cols: n, ColPtr: make([]int, n+1)}
+	for j := 0; j < n; j++ {
+		l.ColPtr[j+1] = l.ColPtr[j] + colCount[j]
+	}
+	nnz := l.ColPtr[n]
+	l.RowIdx = make([]int, nnz)
+	l.Val = make([]float64, nnz)
+
+	// Pass 2: numeric up-looking factorization.
+	// next[j] = next free slot in column j (diagonal reserved at ColPtr[j]).
+	next := make([]int, n)
+	for j := 0; j < n; j++ {
+		next[j] = l.ColPtr[j] + 1
+		l.RowIdx[l.ColPtr[j]] = j // diagonal placeholder
+	}
+	for i := range w {
+		w[i] = -1
+	}
+	x := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Scatter column k of C (upper part, rows ≤ k) into x.
+		top := ereach(c, k, parent, s, w)
+		var d float64
+		for p := c.ColPtr[k]; p < c.ColPtr[k+1]; p++ {
+			i := c.RowIdx[p]
+			if i < k {
+				x[i] = c.Val[p]
+			} else if i == k {
+				d = c.Val[p]
+			}
+		}
+		// Up-looking sparse triangular solve along the pattern.
+		for t := top; t < n; t++ {
+			j := s[t]
+			lkj := x[j] / l.Val[l.ColPtr[j]]
+			x[j] = 0
+			for p := l.ColPtr[j] + 1; p < next[j]; p++ {
+				x[l.RowIdx[p]] -= l.Val[p] * lkj
+			}
+			d -= lkj * lkj
+			p := next[j]
+			next[j]++
+			l.RowIdx[p] = k
+			l.Val[p] = lkj
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w (pivot %d, value %g)", ErrNotPD, k, d)
+		}
+		l.Val[l.ColPtr[k]] = math.Sqrt(d)
+	}
+
+	f := &Factor{N: n, L: l, Perm: perm, inv: make([]int, n)}
+	for newIdx, oldIdx := range perm {
+		f.inv[oldIdx] = newIdx
+	}
+	return f, nil
+}
+
+// NNZ returns the number of stored entries of L (the fill-in measure used
+// for the memory columns of Tables 2 and 3).
+func (f *Factor) NNZ() int { return f.L.NNZ() }
+
+// MemBytes estimates factor storage: 12 bytes per entry (8-byte value +
+// 4-byte row index) plus column pointers.
+func (f *Factor) MemBytes() int64 {
+	return int64(f.L.NNZ())*12 + int64(f.N+1)*8
+}
+
+// Solve solves A x = b in the original ordering, overwriting nothing;
+// x is returned as a fresh slice.
+func (f *Factor) Solve(b []float64) []float64 {
+	x := make([]float64, f.N)
+	f.SolveTo(x, b)
+	return x
+}
+
+// SolveTo solves A x = b into x (len N). b and x may alias.
+func (f *Factor) SolveTo(x, b []float64) {
+	n := f.N
+	y := make([]float64, n)
+	for newIdx, oldIdx := range f.Perm {
+		y[newIdx] = b[oldIdx]
+	}
+	f.LSolve(y)
+	f.LTSolve(y)
+	for newIdx, oldIdx := range f.Perm {
+		x[oldIdx] = y[newIdx]
+	}
+}
+
+// SolveToNoAlloc is SolveTo with a caller-provided permuted workspace y.
+func (f *Factor) SolveToNoAlloc(x, b, y []float64) {
+	for newIdx, oldIdx := range f.Perm {
+		y[newIdx] = b[oldIdx]
+	}
+	f.LSolve(y)
+	f.LTSolve(y)
+	for newIdx, oldIdx := range f.Perm {
+		x[oldIdx] = y[newIdx]
+	}
+}
+
+// LSolve solves L y = y in place (permuted ordering).
+func (f *Factor) LSolve(y []float64) {
+	l := f.L
+	for j := 0; j < f.N; j++ {
+		p := l.ColPtr[j]
+		yj := y[j] / l.Val[p]
+		y[j] = yj
+		for p++; p < l.ColPtr[j+1]; p++ {
+			y[l.RowIdx[p]] -= l.Val[p] * yj
+		}
+	}
+}
+
+// LTSolve solves Lᵀ y = y in place (permuted ordering).
+func (f *Factor) LTSolve(y []float64) {
+	l := f.L
+	for j := f.N - 1; j >= 0; j-- {
+		p := l.ColPtr[j]
+		s := y[j]
+		for q := p + 1; q < l.ColPtr[j+1]; q++ {
+			s -= l.Val[q] * y[l.RowIdx[q]]
+		}
+		y[j] = s / l.Val[p]
+	}
+}
+
+// PermutedIndex maps an original vertex index to its position in the
+// factor's elimination order.
+func (f *Factor) PermutedIndex(oldIdx int) int { return f.inv[oldIdx] }
+
+// OriginalIndex maps an elimination-order position back to the original
+// vertex index.
+func (f *Factor) OriginalIndex(newIdx int) int { return f.Perm[newIdx] }

@@ -1,0 +1,138 @@
+package chol
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/lap"
+	"repro/internal/sparse"
+)
+
+func TestIncompleteMatchesCompleteOnTree(t *testing.T) {
+	// A tree Laplacian in leaf-first order has zero fill, so IC(0) equals
+	// the exact factorization and solves exactly.
+	n := 50
+	g := gen.Path(n)
+	shift := make([]float64, n)
+	for i := range shift {
+		shift[i] = 0.1
+	}
+	a := lap.Laplacian(g, shift)
+	f, err := NewIncomplete(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	x := f.Solve(b)
+	r := make([]float64, n)
+	a.MulVec(x, r)
+	for i := range r {
+		if math.Abs(r[i]-b[i]) > 1e-9 {
+			t.Fatalf("residual[%d] = %g (IC(0) should be exact on a path)", i, r[i]-b[i])
+		}
+	}
+}
+
+func TestIncompletePatternPreserved(t *testing.T) {
+	g := gen.Grid2D(12, 12, 1)
+	a := lap.Laplacian(g, lap.Shift(g, 1e-3))
+	f, err := NewIncomplete(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := a.Lower()
+	if f.NNZ() != low.NNZ() {
+		t.Errorf("IC(0) nnz %d ≠ tril(A) nnz %d (zero fill violated)", f.NNZ(), low.NNZ())
+	}
+}
+
+func TestIncompleteMatchesOnPattern(t *testing.T) {
+	// (L Lᵀ) must reproduce A exactly on A's own pattern.
+	g := gen.RandomConnected(25, 20, 2)
+	a := lap.Laplacian(g, lap.Shift(g, 1e-2))
+	f, err := NewIncomplete(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := f.L.Dense()
+	n := a.Cols
+	prod := make([][]float64, n)
+	for i := range prod {
+		prod[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += ld[i][k] * ld[j][k]
+			}
+			prod[i][j] = s
+		}
+	}
+	for j := 0; j < n; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			if i < j {
+				continue
+			}
+			if math.Abs(prod[i][j]-a.Val[k]) > 1e-9 {
+				t.Fatalf("LLᵀ(%d,%d) = %g, A = %g", i, j, prod[i][j], a.Val[k])
+			}
+		}
+	}
+}
+
+func TestIncompleteIsApproximateOnGrid(t *testing.T) {
+	// On a grid (which has fill), IC(0) is only approximate: solving with
+	// it must leave a nonzero residual, but a bounded one.
+	g := gen.Grid2D(10, 10, 3)
+	a := lap.Laplacian(g, lap.Shift(g, 1e-2))
+	f, err := NewIncomplete(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Cols
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := f.Solve(b)
+	r := make([]float64, n)
+	a.MulVec(x, r)
+	var res, bn float64
+	for i := range r {
+		res += (r[i] - b[i]) * (r[i] - b[i])
+		bn += b[i] * b[i]
+	}
+	rel := math.Sqrt(res / bn)
+	if rel < 1e-12 {
+		t.Error("IC(0) residual suspiciously zero on a grid (fill ignored?)")
+	}
+	if rel > 1 {
+		t.Errorf("IC(0) relative residual %g too large to be useful", rel)
+	}
+}
+
+func TestIncompleteRejectsIndefinite(t *testing.T) {
+	tr := sparse.NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 1, 2)
+	tr.Add(1, 0, 2)
+	tr.Add(1, 1, 1)
+	if _, err := NewIncomplete(tr.ToCSC()); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestIncompleteMissingDiagonalRejected(t *testing.T) {
+	tr := sparse.NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(1, 0, -0.5)
+	tr.Add(0, 1, -0.5)
+	// (1,1) structurally absent.
+	if _, err := NewIncomplete(tr.ToCSC()); err == nil {
+		t.Fatal("missing diagonal accepted")
+	}
+}

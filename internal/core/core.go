@@ -1,0 +1,114 @@
+// Package core orchestrates the full evaluation pipeline the paper's
+// Table 1 reports for a single graph and method: run the sparsification
+// algorithm, assemble the regularized Laplacian pencil (L_G, L_P),
+// factorize the sparsifier, estimate the relative condition number
+// κ(L_G, L_P), and solve a random right-hand side with PCG using the
+// sparsifier preconditioner.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/chol"
+	"repro/internal/eig"
+	"repro/internal/graph"
+	"repro/internal/lap"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/sparsify"
+)
+
+// EvalOptions controls the post-sparsification measurements.
+type EvalOptions struct {
+	// PCGTol is the relative residual tolerance (Table 1 uses 1e-3).
+	PCGTol float64
+	// PCGMaxIter caps PCG iterations (default 2000).
+	PCGMaxIter int
+	// LanczosSteps controls the κ estimate (default 80).
+	LanczosSteps int
+	// SkipKappa skips the condition-number estimate (it costs a few dozen
+	// solves; power users measuring only PCG behaviour can disable it).
+	SkipKappa bool
+	// Seed drives the random right-hand side and Lanczos start vector.
+	Seed int64
+}
+
+// Outcome aggregates everything Table 1 reports for one (graph, method).
+type Outcome struct {
+	Method sparsify.Method
+	N, M   int
+	// Sparsifier facts.
+	SparsifierEdges int
+	SparsifyTime    time.Duration // the paper's Ts
+	// Quality.
+	Kappa float64 // the paper's κ — estimated λmax(L_P⁻¹ L_G)
+	// PCG behaviour on a random RHS.
+	PCGIters int           // the paper's Ni
+	PCGTime  time.Duration // the paper's Ti
+	PCGRes   float64
+	// Preconditioner cost.
+	FactorNNZ int
+	MemBytes  int64
+
+	Result *sparsify.Result
+	LG     *sparse.CSC
+	Factor *chol.Factor
+}
+
+// Evaluate runs sparsification and the Table-1 measurements on g.
+func Evaluate(g *graph.Graph, sopts sparsify.Options, eopts EvalOptions) (*Outcome, error) {
+	if eopts.PCGTol <= 0 {
+		eopts.PCGTol = 1e-3
+	}
+	if eopts.PCGMaxIter <= 0 {
+		eopts.PCGMaxIter = 2000
+	}
+	if eopts.LanczosSteps <= 0 {
+		eopts.LanczosSteps = 80
+	}
+
+	res, err := sparsify.Sparsify(g, sopts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Method:          sopts.Method,
+		N:               g.N,
+		M:               g.M(),
+		SparsifierEdges: len(res.EdgeIdx),
+		SparsifyTime:    res.Stats.Total,
+		Result:          res,
+	}
+
+	out.LG = lap.Laplacian(g, res.Shift)
+	lp := lap.Laplacian(res.Sparsifier, res.Shift)
+	f, err := chol.New(lp, chol.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: factorizing sparsifier: %w", err)
+	}
+	out.Factor = f
+	out.FactorNNZ = f.NNZ()
+	out.MemBytes = f.MemBytes()
+
+	if !eopts.SkipKappa {
+		out.Kappa = eig.CondNumber(out.LG, f, eig.GenMaxOptions{Steps: eopts.LanczosSteps, Seed: eopts.Seed})
+	}
+
+	// PCG with a random RHS (paper: random RHS, rtol 1e-3).
+	rng := rand.New(rand.NewSource(eopts.Seed + 31))
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, g.N)
+	t0 := time.Now()
+	r := solver.PCG(out.LG, b, x, solver.NewCholPrecond(f), solver.Options{
+		Tol: eopts.PCGTol, MaxIter: eopts.PCGMaxIter,
+	})
+	out.PCGTime = time.Since(t0)
+	out.PCGIters = r.Iterations
+	out.PCGRes = r.RelRes
+	return out, nil
+}

@@ -1,0 +1,334 @@
+// Package dense provides small dense linear-algebra reference kernels used
+// by tests and by the experiment harness on small cases: Cholesky
+// factorization, triangular solves, inversion, a cyclic Jacobi symmetric
+// eigensolver, and exact trace / relative-condition-number computations for
+// Laplacian pencils. Nothing here is tuned for speed; it exists to verify
+// the sparse production code.
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (copied).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("dense: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+// Mul returns m × b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: Mul shape mismatch %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	c := New(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				c.Data[i*c.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return c
+}
+
+// MulVec returns m × x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("dense: MulVec shape mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Trace returns the sum of diagonal entries of a square matrix.
+func (m *Matrix) Trace() float64 {
+	if m.Rows != m.Cols {
+		panic("dense: Trace of non-square matrix")
+	}
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		s += m.At(i, i)
+	}
+	return s
+}
+
+// ErrNotPD is returned by Cholesky when the matrix is not positive definite.
+var ErrNotPD = errors.New("dense: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular L with A = L Lᵀ. A must be
+// symmetric positive definite; only the lower triangle of A is referenced.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("dense: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 {
+			return nil, ErrNotPD
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// SolveLower solves L y = b for lower-triangular L.
+func SolveLower(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= l.At(i, j) * y[j]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	return y
+}
+
+// SolveUpperT solves Lᵀ x = y given lower-triangular L.
+func SolveUpperT(l *Matrix, y []float64) []float64 {
+	n := l.Rows
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves A x = b for symmetric positive definite A via Cholesky.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return SolveUpperT(l, SolveLower(l, b)), nil
+}
+
+// InvSPD returns A⁻¹ for symmetric positive definite A.
+func InvSPD(a *Matrix) (*Matrix, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := New(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		x := SolveUpperT(l, SolveLower(l, e))
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, x[i])
+		}
+	}
+	return inv, nil
+}
+
+// JacobiEig computes all eigenvalues (ascending) and eigenvectors of a
+// symmetric matrix by the cyclic Jacobi rotation method. The returned
+// eigenvector matrix V has eigenvectors as columns: A V = V diag(w).
+func JacobiEig(a *Matrix) (w []float64, v *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("dense: JacobiEig of non-square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v = New(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-24*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = m.At(i, i)
+	}
+	// Sort ascending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort keeps it simple and stable
+		for j := i; j > 0 && w[idx[j]] < w[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	ws := make([]float64, n)
+	vs := New(n, n)
+	for k, id := range idx {
+		ws[k] = w[id]
+		for i := 0; i < n; i++ {
+			vs.Set(i, k, v.At(i, id))
+		}
+	}
+	return ws, vs, nil
+}
+
+// TraceProduct returns Tr(S⁻¹ G) exactly, for SPD S.
+func TraceProduct(s, g *Matrix) (float64, error) {
+	inv, err := InvSPD(s)
+	if err != nil {
+		return 0, err
+	}
+	return inv.Mul(g).Trace(), nil
+}
+
+// GenEigMax returns the largest generalized eigenvalue λmax of the pencil
+// G x = λ S x with SPD S, computed exactly via S = LLᵀ and the symmetric
+// standard problem L⁻¹ G L⁻ᵀ.
+func GenEigMax(g, s *Matrix) (float64, error) {
+	w, err := GenEigAll(g, s)
+	if err != nil {
+		return 0, err
+	}
+	return w[len(w)-1], nil
+}
+
+// GenEigAll returns all generalized eigenvalues (ascending) of G x = λ S x.
+func GenEigAll(g, s *Matrix) ([]float64, error) {
+	l, err := Cholesky(s)
+	if err != nil {
+		return nil, err
+	}
+	n := g.Rows
+	// B = L⁻¹ G L⁻ᵀ: solve column by column.
+	b := New(n, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = 0
+		}
+		col[j] = 1
+		ej := SolveUpperT(l, col) // L⁻ᵀ e_j
+		gc := g.MulVec(ej)
+		x := SolveLower(l, gc)
+		for i := 0; i < n; i++ {
+			b.Set(i, j, x[i])
+		}
+	}
+	// Symmetrize against round-off before Jacobi.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m := 0.5 * (b.At(i, j) + b.At(j, i))
+			b.Set(i, j, m)
+			b.Set(j, i, m)
+		}
+	}
+	w, _, err := JacobiEig(b)
+	return w, err
+}

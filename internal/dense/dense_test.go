@@ -1,0 +1,255 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSPD(n int, rng *rand.Rand) *Matrix {
+	// A = Bᵀ B + n·I is SPD.
+	b := New(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := b.Transpose().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	var m float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		a := randSPD(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := maxAbsDiff(l.Mul(l.Transpose()), a); d > 1e-9 {
+			t.Errorf("trial %d: ‖LLᵀ − A‖∞ = %g", trial, d)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected ErrNotPD for indefinite matrix")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randSPD(6, rng)
+	want := make([]float64, 6)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(want)
+	got, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Errorf("x[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInvSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSPD(5, rng)
+	inv, err := InvSPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-8 {
+				t.Fatalf("A·A⁻¹ not identity at (%d,%d): %g", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestJacobiEigDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, -1, 0}, {0, 0, 2}})
+	w, _, err := JacobiEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 2, 3}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Errorf("w[%d] = %g, want %g", i, w[i], want[i])
+		}
+	}
+}
+
+func TestJacobiEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	w, v, err := JacobiEig(FromRows([][]float64{{2, 1}, {1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-1) > 1e-12 || math.Abs(w[1]-3) > 1e-12 {
+		t.Fatalf("eigenvalues %v, want [1 3]", w)
+	}
+	// Check A v = w v for the top eigenpair.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	x := []float64{v.At(0, 1), v.At(1, 1)}
+	ax := a.MulVec(x)
+	for i := range x {
+		if math.Abs(ax[i]-3*x[i]) > 1e-10 {
+			t.Errorf("A v ≠ 3 v at %d", i)
+		}
+	}
+}
+
+func TestJacobiEigOrthogonalEigenvectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSPD(7, rng)
+	w, v, err := JacobiEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VᵀV = I.
+	vtv := v.Transpose().Mul(v)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 7; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(vtv.At(i, j)-want) > 1e-8 {
+				t.Fatalf("VᵀV not identity at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Trace equals eigenvalue sum.
+	var ws float64
+	for _, x := range w {
+		ws += x
+	}
+	if math.Abs(ws-a.Trace()) > 1e-8 {
+		t.Errorf("Σλ = %g, trace = %g", ws, a.Trace())
+	}
+}
+
+func TestTraceProductAgainstDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randSPD(5, rng)
+	g := randSPD(5, rng)
+	got, err := TraceProduct(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, _ := InvSPD(s)
+	want := inv.Mul(g).Trace()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("TraceProduct = %g, want %g", got, want)
+	}
+}
+
+func TestGenEigMaxSameMatrixIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randSPD(6, rng)
+	lam, err := GenEigMax(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-1) > 1e-8 {
+		t.Errorf("λmax(A,A) = %g, want 1", lam)
+	}
+}
+
+func TestGenEigAllBoundsTrace(t *testing.T) {
+	// Paper eq. (5): λmax(S⁻¹G) ≤ Tr(S⁻¹G) for SPD pencils with
+	// nonnegative eigenvalues.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(5)
+		s := randSPD(n, rng)
+		g := randSPD(n, rng)
+		w, err := GenEigAll(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := TraceProduct(s, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, x := range w {
+			if x < 0 {
+				t.Fatalf("negative generalized eigenvalue %g for SPD pencil", x)
+			}
+			sum += x
+		}
+		if math.Abs(sum-tr) > 1e-6*(1+math.Abs(tr)) {
+			t.Errorf("Σλ = %g, Tr(S⁻¹G) = %g", sum, tr)
+		}
+		if w[n-1] > tr+1e-9 {
+			t.Errorf("λmax = %g exceeds trace %g", w[n-1], tr)
+		}
+	}
+}
+
+func TestSolveLowerUpper(t *testing.T) {
+	l := FromRows([][]float64{{2, 0}, {1, 3}})
+	y := SolveLower(l, []float64{4, 7})
+	if math.Abs(y[0]-2) > 1e-15 || math.Abs(y[1]-5.0/3) > 1e-15 {
+		t.Errorf("SolveLower = %v", y)
+	}
+	x := SolveUpperT(l, []float64{2, 3})
+	// Lᵀ x = [2,3]: 2x0 + x1 = 2; 3x1 = 3 → x1 = 1, x0 = 0.5.
+	if math.Abs(x[1]-1) > 1e-15 || math.Abs(x[0]-0.5) > 1e-15 {
+		t.Errorf("SolveUpperT = %v", x)
+	}
+}
+
+func TestQuickCholeskySolveInverts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randSPD(n, rng)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

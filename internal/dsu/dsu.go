@@ -1,0 +1,59 @@
+// Package dsu implements a disjoint-set union (union-find) structure with
+// union by rank and path compression, used by Kruskal spanning trees and the
+// Gabow–Tarjan offline LCA algorithm.
+package dsu
+
+// DSU is a union-find over elements 0..n-1.
+type DSU struct {
+	parent []int
+	rank   []byte
+	count  int // number of disjoint sets
+}
+
+// New returns a DSU with every element in its own singleton set.
+func New(n int) *DSU {
+	d := &DSU{parent: make([]int, n), rank: make([]byte, n), count: n}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Find returns the representative of x's set, compressing the path.
+func (d *DSU) Find(x int) int {
+	root := x
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	for d.parent[x] != root {
+		d.parent[x], x = root, d.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing x and y; reports whether a merge
+// happened (false when they were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Count returns the current number of disjoint sets.
+func (d *DSU) Count() int { return d.count }
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }

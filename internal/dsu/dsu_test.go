@@ -1,0 +1,89 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	d := New(5)
+	if d.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", d.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if d.Find(i) != i {
+			t.Errorf("Find(%d) = %d before unions", i, d.Find(i))
+		}
+	}
+}
+
+func TestUnionMerges(t *testing.T) {
+	d := New(4)
+	if !d.Union(0, 1) {
+		t.Error("first union returned false")
+	}
+	if d.Union(1, 0) {
+		t.Error("repeated union returned true")
+	}
+	if !d.Same(0, 1) {
+		t.Error("0 and 1 not in same set after union")
+	}
+	if d.Same(0, 2) {
+		t.Error("0 and 2 wrongly in same set")
+	}
+	if d.Count() != 3 {
+		t.Errorf("Count = %d, want 3", d.Count())
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Union(1, 2)
+	if !d.Same(0, 3) {
+		t.Error("transitivity broken")
+	}
+	if d.Same(0, 4) {
+		t.Error("unrelated elements merged")
+	}
+}
+
+func TestCountMatchesDistinctRoots(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		d := New(n)
+		for k := 0; k < n; k++ {
+			d.Union(rng.Intn(n), rng.Intn(n))
+		}
+		roots := map[int]bool{}
+		for i := 0; i < n; i++ {
+			roots[d.Find(i)] = true
+		}
+		return len(roots) == d.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindIsIdempotentRepresentative(t *testing.T) {
+	d := New(10)
+	for i := 0; i < 9; i++ {
+		d.Union(i, i+1)
+	}
+	r := d.Find(0)
+	for i := 0; i < 10; i++ {
+		if d.Find(i) != r {
+			t.Fatalf("element %d has root %d, want %d", i, d.Find(i), r)
+		}
+	}
+	if d.Count() != 1 {
+		t.Errorf("Count = %d, want 1", d.Count())
+	}
+	if d.Len() != 10 {
+		t.Errorf("Len = %d, want 10", d.Len())
+	}
+}

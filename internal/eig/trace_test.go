@@ -1,0 +1,97 @@
+package eig
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chol"
+	"repro/internal/dense"
+	"repro/internal/gen"
+	"repro/internal/lap"
+	"repro/internal/tree"
+)
+
+func TestTraceEstMatchesDense(t *testing.T) {
+	g := gen.RandomConnected(40, 60, 1)
+	shift := lap.Shift(g, 1e-6)
+	lg := lap.Laplacian(g, shift)
+	tr, err := tree.MEWST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := lap.Laplacian(g.Subgraph(tr.EdgeIdx), shift)
+	f, err := chol.New(ls, chol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dense.TraceProduct(dense.FromRows(ls.Dense()), dense.FromRows(lg.Dense()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TraceEst(lg, f, 400, 2)
+	if math.Abs(got-want) > 0.1*want {
+		t.Errorf("Hutchinson trace %g, dense %g", got, want)
+	}
+}
+
+func TestTraceEstSelfIsN(t *testing.T) {
+	// Tr(L⁻¹ L) = n exactly; Hutchinson with any probes is exact here
+	// because zᵀ I z = n for every Rademacher z.
+	g := gen.Grid2D(8, 8, 3)
+	shift := lap.Shift(g, 1e-6)
+	l := lap.Laplacian(g, shift)
+	f, err := chol.New(l, chol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TraceEst(l, f, 5, 4)
+	if math.Abs(got-float64(g.N)) > 1e-6*float64(g.N) {
+		t.Errorf("Tr(L⁻¹L) estimate %g, want %d", got, g.N)
+	}
+}
+
+func TestTraceDecreasesWithDensification(t *testing.T) {
+	// The paper's core monotonicity: recovering edges reduces the trace.
+	g := gen.Grid2D(20, 20, 5)
+	shift := lap.Shift(g, 1e-6)
+	lg := lap.Laplacian(g, shift)
+	tr, err := tree.MEWST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSub := append([]bool(nil), tr.InTree...)
+	traceOf := func() float64 {
+		idx := make([]int, 0)
+		for i, in := range inSub {
+			if in {
+				idx = append(idx, i)
+			}
+		}
+		ls := lap.Laplacian(g.Subgraph(idx), shift)
+		f, err := chol.New(ls, chol.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return TraceEst(lg, f, 200, 6)
+	}
+	prev := traceOf()
+	added := 0
+	for e := range g.Edges {
+		if inSub[e] {
+			continue
+		}
+		inSub[e] = true
+		added++
+		if added%20 == 0 {
+			cur := traceOf()
+			// Allow small estimator noise; the trend must be downward.
+			if cur > prev*1.02 {
+				t.Fatalf("trace rose from %g to %g after adding edges", prev, cur)
+			}
+			prev = cur
+		}
+		if added >= 80 {
+			break
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Case describes one named benchmark graph mirroring a Table-1/Table-3 case
+// from the paper, with the paper's original size recorded for the
+// EXPERIMENTS.md comparison and a scaled default size that keeps the whole
+// suite runnable in minutes.
+type Case struct {
+	Name   string
+	Kind   string  // "grid", "tri", "circuit"
+	PaperV float64 // |V| in the paper
+	PaperE float64 // |E| in the paper
+	// Build generates the graph at the given scale: scale 1 reproduces the
+	// default (downsized) vertex count; larger scales approach paper size.
+	Build func(scale float64, seed int64) *graph.Graph
+}
+
+// defaultShrink divides the paper's |V| to obtain the default size.
+const defaultShrink = 70.0
+
+func gridCase(name string, paperV, paperE float64) Case {
+	return Case{
+		Name: name, Kind: "grid", PaperV: paperV, PaperE: paperE,
+		Build: func(scale float64, seed int64) *graph.Graph {
+			side := sideFor(paperV, scale)
+			return Grid2D(side, side, seed)
+		},
+	}
+}
+
+func triCase(name string, paperV, paperE float64) Case {
+	return Case{
+		Name: name, Kind: "tri", PaperV: paperV, PaperE: paperE,
+		Build: func(scale float64, seed int64) *graph.Graph {
+			side := sideFor(paperV, scale)
+			return Tri2D(side, side, seed)
+		},
+	}
+}
+
+func circuitCase(name string, paperV, paperE float64) Case {
+	return Case{
+		Name: name, Kind: "circuit", PaperV: paperV, PaperE: paperE,
+		Build: func(scale float64, seed int64) *graph.Graph {
+			side := sideFor(paperV, scale)
+			return CircuitGrid(side, side, 0.08, seed)
+		},
+	}
+}
+
+func sideFor(paperV, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := paperV / defaultShrink * scale
+	side := int(math.Round(math.Sqrt(n)))
+	if side < 8 {
+		side = 8
+	}
+	return side
+}
+
+// Table1Cases mirrors the ten graphs of Table 1, in paper order.
+func Table1Cases() []Case {
+	return []Case{
+		gridCase("ecology2", 1.0e6, 2.0e6),
+		triCase("thermal2", 1.2e6, 3.7e6),
+		triCase("parabolic", 0.5e6, 1.6e6),
+		triCase("tmt_sym", 0.7e6, 2.2e6),
+		circuitCase("G3_circuit", 1.6e6, 3.0e6),
+		triCase("NACA0015", 1.0e6, 3.1e6),
+		triCase("M6", 3.5e6, 1.1e7),
+		triCase("333SP", 3.7e6, 1.1e7),
+		triCase("AS365", 3.8e6, 1.1e7),
+		triCase("NLR", 4.2e6, 1.2e7),
+	}
+}
+
+// Table3Cases mirrors the five graphs of Table 3 (a subset of Table 1).
+func Table3Cases() []Case {
+	all := Table1Cases()
+	return all[:5]
+}
+
+// ByName returns the named case from Table 1.
+func ByName(name string) (Case, error) {
+	for _, c := range Table1Cases() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Case{}, fmt.Errorf("gen: unknown case %q", name)
+}

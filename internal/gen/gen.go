@@ -1,0 +1,204 @@
+// Package gen synthesizes the benchmark graphs the evaluation runs on.
+// The paper uses SuiteSparse matrices (ecology2, thermal2, …, NLR); those
+// originals are not redistributable here, so each case is replaced by a
+// synthetic generator of the same topology class and |E|/|V| ratio
+// (DESIGN.md §4.1): 5-point grids for grid-like cases, structured
+// triangulations with jittered weights for the FE meshes, and a
+// grid-with-shortcuts model for the circuit case. Matrix Market input is
+// supported separately (internal/sparse) for running on the real matrices.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// jitter returns a multiplicative weight jitter exp(U(−a, a)); FE matrices
+// have smoothly varying coefficients, which this mimics.
+func jitter(rng *rand.Rand, a float64) float64 {
+	return math.Exp((2*rng.Float64() - 1) * a)
+}
+
+// Grid2D builds an nx×ny 5-point grid with weights jittered around 1.
+func Grid2D(nx, ny int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	id := func(x, y int) int { return y*nx + x }
+	edges := make([]graph.Edge, 0, 2*nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y), W: jitter(rng, 0.5)})
+			}
+			if y+1 < ny {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x, y+1), W: jitter(rng, 0.5)})
+			}
+		}
+	}
+	return graph.MustNew(nx*ny, edges)
+}
+
+// Tri2D builds a structured triangulation: an nx×ny grid with one diagonal
+// per cell, giving |E| ≈ 3|V| like the paper's 2D finite-element meshes.
+// Diagonal orientation alternates pseudo-randomly so the mesh is not
+// globally biased.
+func Tri2D(nx, ny int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	id := func(x, y int) int { return y*nx + x }
+	edges := make([]graph.Edge, 0, 3*nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x+1 < nx {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y), W: jitter(rng, 1)})
+			}
+			if y+1 < ny {
+				edges = append(edges, graph.Edge{U: id(x, y), V: id(x, y+1), W: jitter(rng, 1)})
+			}
+			if x+1 < nx && y+1 < ny {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y+1), W: jitter(rng, 1)})
+				} else {
+					edges = append(edges, graph.Edge{U: id(x+1, y), V: id(x, y+1), W: jitter(rng, 1)})
+				}
+			}
+		}
+	}
+	return graph.MustNew(nx*ny, edges)
+}
+
+// Grid3D builds an nx×ny×nz 7-point grid.
+func Grid3D(nx, ny, nz int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	var edges []graph.Edge
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if x+1 < nx {
+					edges = append(edges, graph.Edge{U: id(x, y, z), V: id(x+1, y, z), W: jitter(rng, 0.5)})
+				}
+				if y+1 < ny {
+					edges = append(edges, graph.Edge{U: id(x, y, z), V: id(x, y+1, z), W: jitter(rng, 0.5)})
+				}
+				if z+1 < nz {
+					edges = append(edges, graph.Edge{U: id(x, y, z), V: id(x, y, z+1), W: jitter(rng, 0.5)})
+				}
+			}
+		}
+	}
+	return graph.MustNew(nx*ny*nz, edges)
+}
+
+// CircuitGrid builds a grid plus a fraction of random short-range shortcut
+// edges, mimicking circuit matrices such as G3_circuit whose average degree
+// (~3.8) sits between a grid and a mesh.
+func CircuitGrid(nx, ny int, extraFrac float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	base := Grid2D(nx, ny, seed+1)
+	edges := append([]graph.Edge(nil), base.Edges...)
+	id := func(x, y int) int { return y*nx + x }
+	extra := int(extraFrac * float64(nx*ny))
+	for k := 0; k < extra; k++ {
+		x := rng.Intn(nx)
+		y := rng.Intn(ny)
+		dx := rng.Intn(7) - 3
+		dy := rng.Intn(7) - 3
+		x2, y2 := x+dx, y+dy
+		if x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny || (dx == 0 && dy == 0) {
+			continue
+		}
+		u, v := id(x, y), id(x2, y2)
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: 0.1 * jitter(rng, 1)})
+	}
+	return graph.MustNew(nx*ny, edges)
+}
+
+// RandomGeometric builds a connected random geometric graph: n points in
+// the unit square, edges between pairs within the given radius (weight
+// 1/distance), plus a grid-path fallback to guarantee connectivity.
+func RandomGeometric(n int, radius float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Cell binning to avoid O(n²).
+	cells := int(math.Ceil(1 / radius))
+	if cells < 1 {
+		cells = 1
+	}
+	bin := make(map[[2]int][]int)
+	for i := 0; i < n; i++ {
+		c := [2]int{int(xs[i] * float64(cells)), int(ys[i] * float64(cells))}
+		bin[c] = append(bin[c], i)
+	}
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		cx, cy := int(xs[i]*float64(cells)), int(ys[i]*float64(cells))
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bin[[2]int{cx + dx, cy + dy}] {
+					if j <= i {
+						continue
+					}
+					d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+					if d < radius && d > 0 {
+						edges = append(edges, graph.Edge{U: i, V: j, W: 1 / d})
+					}
+				}
+			}
+		}
+	}
+	// Connectivity fallback: chain consecutive points (they are random, so
+	// this adds a Hamiltonian path of modest weight).
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1, W: 0.5})
+	}
+	return graph.MustNew(n, edges)
+}
+
+// Path builds a path graph with unit weights; handy in tests.
+func Path(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1, W: 1})
+	}
+	return graph.MustNew(n, edges)
+}
+
+// Complete builds the complete graph K_n with unit weights.
+func Complete(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j, W: 1})
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// RandomConnected builds a random connected graph for property tests:
+// a random spanning tree plus extra random edges with weights in (0.1, 10).
+func RandomConnected(n, extraEdges int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		u := rng.Intn(v)
+		edges = append(edges, graph.Edge{U: u, V: v, W: 0.1 + 9.9*rng.Float64()})
+	}
+	for k := 0; k < extraEdges; k++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: 0.1 + 9.9*rng.Float64()})
+	}
+	return graph.MustNew(n, edges)
+}

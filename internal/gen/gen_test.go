@@ -1,0 +1,178 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrid2DStructure(t *testing.T) {
+	g := Grid2D(5, 7, 1)
+	if g.N != 35 {
+		t.Fatalf("N = %d, want 35", g.N)
+	}
+	// 5-point grid edge count: (nx−1)·ny + nx·(ny−1).
+	want := 4*7 + 5*6
+	if g.M() != want {
+		t.Errorf("M = %d, want %d", g.M(), want)
+	}
+	if !g.Connected() {
+		t.Error("grid disconnected")
+	}
+}
+
+func TestTri2DEdgeRatio(t *testing.T) {
+	g := Tri2D(40, 40, 2)
+	ratio := float64(g.M()) / float64(g.N)
+	// FE triangulations have |E|/|V| ≈ 3 (the paper's mesh cases).
+	if ratio < 2.5 || ratio > 3.1 {
+		t.Errorf("|E|/|V| = %g, want ≈3", ratio)
+	}
+	if !g.Connected() {
+		t.Error("mesh disconnected")
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid3D(4, 5, 6, 3)
+	if g.N != 120 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if !g.Connected() {
+		t.Error("3D grid disconnected")
+	}
+	want := 3*5*6 + 4*4*6 + 4*5*5
+	if g.M() != want {
+		t.Errorf("M = %d, want %d", g.M(), want)
+	}
+}
+
+func TestCircuitGridDegree(t *testing.T) {
+	g := CircuitGrid(50, 50, 0.08, 4)
+	if !g.Connected() {
+		t.Fatal("circuit grid disconnected")
+	}
+	avg := 2 * float64(g.M()) / float64(g.N)
+	// Between a grid (≈4) and slightly above with shortcuts.
+	if avg < 3.5 || avg > 4.5 {
+		t.Errorf("average degree %g outside circuit-like range", avg)
+	}
+}
+
+func TestRandomGeometricConnected(t *testing.T) {
+	g := RandomGeometric(500, 0.08, 5)
+	if !g.Connected() {
+		t.Error("RGG with fallback path disconnected")
+	}
+	if g.N != 500 {
+		t.Errorf("N = %d", g.N)
+	}
+}
+
+func TestPathAndComplete(t *testing.T) {
+	p := Path(10)
+	if p.M() != 9 || !p.Connected() {
+		t.Error("path malformed")
+	}
+	k := Complete(6)
+	if k.M() != 15 {
+		t.Errorf("K6 has %d edges", k.M())
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := RandomConnected(30, 20, seed)
+		if !g.Connected() {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+		for _, e := range g.Edges {
+			if e.W <= 0 {
+				t.Fatalf("nonpositive weight")
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Tri2D(20, 20, 42)
+	b := Tri2D(20, 20, 42)
+	if a.M() != b.M() {
+		t.Fatal("same seed, different edge counts")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed, different edges")
+		}
+	}
+	c := Tri2D(20, 20, 43)
+	same := a.M() == c.M()
+	if same {
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestTable1CasesRegistry(t *testing.T) {
+	cases := Table1Cases()
+	if len(cases) != 10 {
+		t.Fatalf("%d cases, want 10", len(cases))
+	}
+	names := map[string]bool{}
+	for _, c := range cases {
+		if names[c.Name] {
+			t.Errorf("duplicate case %s", c.Name)
+		}
+		names[c.Name] = true
+		g := c.Build(0.3, 1) // small scale for the test
+		if !g.Connected() {
+			t.Errorf("%s: disconnected", c.Name)
+		}
+		// Scaled size should track paper size proportionally.
+		wantN := c.PaperV / defaultShrink * 0.3
+		if math.Abs(float64(g.N)-wantN) > 0.3*wantN {
+			t.Errorf("%s: n=%d, want ≈%g", c.Name, g.N, wantN)
+		}
+	}
+	if !names["ecology2"] || !names["NLR"] {
+		t.Error("expected paper case names")
+	}
+}
+
+func TestTable3CasesSubset(t *testing.T) {
+	t3 := Table3Cases()
+	if len(t3) != 5 {
+		t.Fatalf("%d cases, want 5", len(t3))
+	}
+	if t3[0].Name != "ecology2" || t3[4].Name != "G3_circuit" {
+		t.Error("Table 3 should be the first five Table 1 cases")
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("tmt_sym")
+	if err != nil || c.Name != "tmt_sym" {
+		t.Errorf("ByName failed: %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+func TestScaleGrowsGraphs(t *testing.T) {
+	c, err := ByName("ecology2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := c.Build(0.5, 1)
+	big := c.Build(2, 1)
+	if big.N <= small.N {
+		t.Errorf("scale 2 (%d) not larger than scale 0.5 (%d)", big.N, small.N)
+	}
+}

@@ -1,0 +1,113 @@
+// Package lca implements the Gabow–Tarjan offline least-common-ancestor
+// algorithm over a rooted tree. The sparsifier uses it to batch-compute
+// tree effective resistances R_T(p,q) = dist(p) + dist(q) − 2·dist(lca(p,q))
+// for every off-tree edge in one linear-time pass (paper §3.2).
+package lca
+
+// Tree describes a rooted tree: Parent[root] == -1, Children adjacency is
+// derived internally. All slices are indexed by vertex.
+type Tree struct {
+	Parent []int
+	Root   int
+}
+
+// Query is one (U, V) LCA query; Result is filled by Offline.
+type Query struct {
+	U, V int
+}
+
+// Offline answers all queries against the rooted tree using Tarjan's
+// offline algorithm (iterative DFS, union-find with path compression).
+// Returns the LCA per query, aligned with the queries slice.
+func Offline(t Tree, queries []Query) []int {
+	n := len(t.Parent)
+	// Build children lists.
+	childHead := make([]int, n)
+	childNext := make([]int, n)
+	for i := range childHead {
+		childHead[i] = -1
+	}
+	for v, p := range t.Parent {
+		if p < 0 {
+			continue
+		}
+		childNext[v] = childHead[p]
+		childHead[p] = v
+	}
+	// Bucket queries per endpoint.
+	type qref struct {
+		other int
+		idx   int
+	}
+	qHead := make([]int, n)
+	for i := range qHead {
+		qHead[i] = -1
+	}
+	qNext := make([]int, 2*len(queries))
+	qData := make([]qref, 2*len(queries))
+	for i, q := range queries {
+		qData[2*i] = qref{other: q.V, idx: i}
+		qNext[2*i] = qHead[q.U]
+		qHead[q.U] = 2 * i
+		qData[2*i+1] = qref{other: q.U, idx: i}
+		qNext[2*i+1] = qHead[q.V]
+		qHead[q.V] = 2*i + 1
+	}
+
+	parent := make([]int, n) // union-find parent
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		root := x
+		for parent[root] != root {
+			root = parent[root]
+		}
+		for parent[x] != root {
+			parent[x], x = root, parent[x]
+		}
+		return root
+	}
+
+	ancestor := make([]int, n)
+	visited := make([]bool, n)
+	result := make([]int, len(queries))
+	for i := range result {
+		result[i] = -1
+	}
+
+	// Iterative post-order DFS: state 0 = enter, 1 = children done.
+	type frame struct {
+		v     int
+		child int // next child to visit (linked-list cursor)
+	}
+	stack := make([]frame, 0, n)
+	stack = append(stack, frame{v: t.Root, child: childHead[t.Root]})
+	ancestor[t.Root] = t.Root
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.child != -1 {
+			c := f.child
+			f.child = childNext[c]
+			ancestor[c] = c
+			stack = append(stack, frame{v: c, child: childHead[c]})
+			continue
+		}
+		// Post-order for f.v: answer its pending queries, then merge into parent.
+		v := f.v
+		visited[v] = true
+		for qi := qHead[v]; qi != -1; qi = qNext[qi] {
+			o := qData[qi].other
+			if visited[o] {
+				result[qData[qi].idx] = ancestor[find(o)]
+			}
+		}
+		stack = stack[:len(stack)-1]
+		if p := t.Parent[v]; p >= 0 {
+			parent[find(v)] = find(p)
+			ancestor[find(p)] = p
+		}
+	}
+	return result
+}

@@ -1,0 +1,110 @@
+package lca
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveLCA walks parents upward; the test oracle.
+func naiveLCA(parent []int, u, v int) int {
+	depth := func(x int) int {
+		d := 0
+		for parent[x] >= 0 {
+			x = parent[x]
+			d++
+		}
+		return d
+	}
+	du, dv := depth(u), depth(v)
+	for du > dv {
+		u = parent[u]
+		du--
+	}
+	for dv > du {
+		v = parent[v]
+		dv--
+	}
+	for u != v {
+		u = parent[u]
+		v = parent[v]
+	}
+	return u
+}
+
+func TestOfflineSmallTree(t *testing.T) {
+	//        0
+	//       / \
+	//      1   2
+	//     / \    \
+	//    3   4    5
+	parent := []int{-1, 0, 0, 1, 1, 2}
+	qs := []Query{{3, 4}, {3, 5}, {1, 4}, {0, 5}, {3, 3}, {4, 2}}
+	want := []int{1, 0, 1, 0, 3, 0}
+	got := Offline(Tree{Parent: parent, Root: 0}, qs)
+	for i := range qs {
+		if got[i] != want[i] {
+			t.Errorf("lca(%d,%d) = %d, want %d", qs[i].U, qs[i].V, got[i], want[i])
+		}
+	}
+}
+
+func TestOfflinePathTree(t *testing.T) {
+	// Path 0 → 1 → 2 → 3 → 4 rooted at 0.
+	parent := []int{-1, 0, 1, 2, 3}
+	qs := []Query{{4, 0}, {4, 2}, {3, 1}, {2, 2}}
+	want := []int{0, 2, 1, 2}
+	got := Offline(Tree{Parent: parent, Root: 0}, qs)
+	for i := range qs {
+		if got[i] != want[i] {
+			t.Errorf("query %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOfflineNoQueries(t *testing.T) {
+	got := Offline(Tree{Parent: []int{-1, 0}, Root: 0}, nil)
+	if len(got) != 0 {
+		t.Errorf("expected empty result, got %v", got)
+	}
+}
+
+func TestOfflineMatchesNaiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		parent := make([]int, n)
+		parent[0] = -1
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v) // random recursive tree
+		}
+		qs := make([]Query, 2*n)
+		for i := range qs {
+			qs[i] = Query{U: rng.Intn(n), V: rng.Intn(n)}
+		}
+		got := Offline(Tree{Parent: parent, Root: 0}, qs)
+		for i, q := range qs {
+			if got[i] != naiveLCA(parent, q.U, q.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOfflineDeepTree(t *testing.T) {
+	// A 10k-node path exercises the iterative DFS (no stack overflow).
+	n := 10000
+	parent := make([]int, n)
+	parent[0] = -1
+	for v := 1; v < n; v++ {
+		parent[v] = v - 1
+	}
+	got := Offline(Tree{Parent: parent, Root: 0}, []Query{{n - 1, n / 2}, {0, n - 1}})
+	if got[0] != n/2 || got[1] != 0 {
+		t.Errorf("deep tree LCAs = %v", got)
+	}
+}

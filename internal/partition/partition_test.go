@@ -1,0 +1,74 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBipartitionBalanced(t *testing.T) {
+	f := []float64{-3, -1, 0.5, 2, 7, -0.2}
+	p := Bipartition(f)
+	ones := 0
+	for _, v := range p {
+		ones += v
+	}
+	if ones != 3 {
+		t.Errorf("partition imbalance: %d ones of 6", ones)
+	}
+	// The three largest Fiedler values (2, 7, 0.5) land on side 1.
+	if p[4] != 1 || p[3] != 1 || p[2] != 1 {
+		t.Errorf("largest components not on side 1: %v", p)
+	}
+	if p[0] != 0 || p[1] != 0 {
+		t.Errorf("smallest components not on side 0: %v", p)
+	}
+}
+
+func TestDisagreementIdentityAndFlip(t *testing.T) {
+	a := []int{0, 0, 1, 1, 0}
+	if d := Disagreement(a, a); d != 0 {
+		t.Errorf("self disagreement %g", d)
+	}
+	b := []int{1, 1, 0, 0, 1} // full flip — same bipartition
+	if d := Disagreement(a, b); d != 0 {
+		t.Errorf("flip disagreement %g, want 0", d)
+	}
+	c := []int{0, 0, 1, 1, 1} // one vertex moved
+	if d := Disagreement(a, c); d != 0.2 {
+		t.Errorf("one-off disagreement %g, want 0.2", d)
+	}
+}
+
+func TestDisagreementSymmetricQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(2)
+			b[i] = rng.Intn(2)
+		}
+		d1 := Disagreement(a, b)
+		d2 := Disagreement(b, a)
+		return d1 == d2 && d1 >= 0 && d1 <= 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	// Triangle 0-1-2 with part {0} vs {1,2}: edges (0,1) and (0,2) cross.
+	part := []int{0, 1, 1}
+	edges := [][3]float64{{0, 1, 2}, {1, 2, 5}, {0, 2, 3}}
+	got := CutWeight(part, func(fn func(u, v int, w float64)) {
+		for _, e := range edges {
+			fn(int(e[0]), int(e[1]), e[2])
+		}
+	})
+	if got != 5 {
+		t.Errorf("cut weight %g, want 5", got)
+	}
+}

@@ -1,0 +1,393 @@
+// Package pg is the power-grid substrate for the paper's §4.2 experiments.
+// The IBM [14] and THU [18] benchmark netlists are not redistributable, so
+// Synthesize builds structurally equivalent grids: multiple metal layers of
+// orthogonal wires joined by vias, supply pads on the top layer, node
+// capacitances drawn uniformly from 1–10 pF (the paper's recipe), and
+// periodic-pulse current loads on the bottom layer whose breakpoints are
+// aligned to a 10 ps lattice — reproducing the fixed-step limit the paper
+// cites for the direct solver.
+//
+// Transient analysis follows eq. (21): backward Euler on
+// (G + C/h) x(t+h) = (C/h) x(t) + u(t+h), with a fixed-step
+// factor-once direct engine and a varied-step PCG engine whose
+// preconditioner is built once during DC analysis.
+package pg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// Pulse is a periodic trapezoidal current waveform: zero until Delay, then
+// every Period seconds it ramps to I0 over Rise, holds for High, and ramps
+// back over Fall.
+type Pulse struct {
+	Delay, Rise, High, Fall, Period float64 // seconds
+	I0                              float64 // amperes
+}
+
+// At evaluates the waveform at time t.
+func (p Pulse) At(t float64) float64 {
+	if t < p.Delay {
+		return 0
+	}
+	u := math.Mod(t-p.Delay, p.Period)
+	switch {
+	case u < p.Rise:
+		return p.I0 * u / p.Rise
+	case u < p.Rise+p.High:
+		return p.I0
+	case u < p.Rise+p.High+p.Fall:
+		return p.I0 * (1 - (u-p.Rise-p.High)/p.Fall)
+	default:
+		return 0
+	}
+}
+
+// Breakpoints appends the waveform's corner times within [0, horizon] to
+// dst: the instants where the slope changes, which bound the step size of
+// accurate time integration.
+func (p Pulse) Breakpoints(horizon float64, dst []float64) []float64 {
+	tol := horizon * 1e-9 // absorb float accumulation across periods
+	for start := p.Delay; start <= horizon+tol; start += p.Period {
+		for _, c := range [4]float64{0, p.Rise, p.Rise + p.High, p.Rise + p.High + p.Fall} {
+			if t := start + c; t <= horizon+tol {
+				dst = append(dst, t)
+			}
+		}
+	}
+	return dst
+}
+
+// Source is a current load attached to a node.
+type Source struct {
+	Node int
+	Wave Pulse
+}
+
+// Config parameterizes Synthesize.
+type Config struct {
+	// NX, NY size the bottom (finest) metal layer.
+	NX, NY int
+	// Layers is the number of metal layers (≥1); each upper layer halves
+	// the pitch.
+	Layers int
+	// VDD is the supply voltage (0 for a ground net — see GroundNet).
+	VDD float64
+	// PadFrac is the fraction of top-layer nodes carrying a supply pad.
+	PadFrac float64
+	// PadG is the pad conductance to the ideal supply (S).
+	PadG float64
+	// WireG is the base wire conductance (S); ViaG the via conductance.
+	WireG, ViaG float64
+	// CapMin, CapMax bound the per-node capacitance (F). Paper: 1–10 pF.
+	CapMin, CapMax float64
+	// SourceFrac is the fraction of bottom-layer nodes drawing load
+	// current; IMax bounds the pulse amplitude (A).
+	SourceFrac float64
+	IMax       float64
+	// TimeAlign is the lattice all waveform corners snap to (paper: the
+	// smallest breakpoint distance is 10 ps).
+	TimeAlign float64
+	// GroundNet flips the net polarity: pads tie to 0 V and the loads
+	// inject (return) current instead of drawing it.
+	GroundNet bool
+	Seed      int64
+}
+
+// IBM-like defaults; callers override NX/NY/Seed.
+func (c Config) withDefaults() Config {
+	if c.NX == 0 {
+		c.NX = 100
+	}
+	if c.NY == 0 {
+		c.NY = 100
+	}
+	if c.Layers == 0 {
+		c.Layers = 3
+	}
+	if c.VDD == 0 && !c.GroundNet {
+		c.VDD = 1.8
+	}
+	if c.PadFrac == 0 {
+		c.PadFrac = 0.05
+	}
+	if c.PadG == 0 {
+		c.PadG = 50
+	}
+	if c.WireG == 0 {
+		c.WireG = 1.0
+	}
+	if c.ViaG == 0 {
+		c.ViaG = 5.0
+	}
+	if c.CapMin == 0 {
+		c.CapMin = 1e-12
+	}
+	if c.CapMax == 0 {
+		c.CapMax = 10e-12
+	}
+	if c.SourceFrac == 0 {
+		c.SourceFrac = 0.10
+	}
+	if c.IMax == 0 {
+		c.IMax = 5e-3
+	}
+	if c.TimeAlign == 0 {
+		c.TimeAlign = 10e-12
+	}
+	return c
+}
+
+// Grid is a synthesized power-distribution net.
+type Grid struct {
+	Cfg      Config
+	G        *graph.Graph // wire+via conductance network
+	N        int
+	PadNodes []int
+	Cap      []float64 // per-node capacitance (F)
+	Sources  []Source
+}
+
+// Synthesize builds a power grid from the configuration.
+func Synthesize(cfg Config) (*Grid, error) {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Layer geometry: layer 0 is NX×NY; each upper layer halves each
+	// dimension (minimum 2).
+	type layer struct {
+		nx, ny, offset int
+	}
+	layers := make([]layer, c.Layers)
+	offset := 0
+	nx, ny := c.NX, c.NY
+	for l := 0; l < c.Layers; l++ {
+		layers[l] = layer{nx: nx, ny: ny, offset: offset}
+		offset += nx * ny
+		nx = max2(nx/2, 2)
+		ny = max2(ny/2, 2)
+	}
+	n := offset
+
+	var edges []graph.Edge
+	jit := func() float64 { return 0.5 + rng.Float64() } // ×[0.5, 1.5)
+	for l, L := range layers {
+		id := func(x, y int) int { return L.offset + y*L.nx + x }
+		// Alternate preferred direction per layer, but keep both so each
+		// layer is connected (real grids route H and V stripes; modeling
+		// both keeps the graph simple and SDD).
+		for y := 0; y < L.ny; y++ {
+			for x := 0; x < L.nx; x++ {
+				if x+1 < L.nx {
+					edges = append(edges, graph.Edge{U: id(x, y), V: id(x+1, y), W: c.WireG * jit()})
+				}
+				if y+1 < L.ny {
+					edges = append(edges, graph.Edge{U: id(x, y), V: id(x, y+1), W: c.WireG * jit()})
+				}
+			}
+		}
+		// Vias to the layer above at aligned coordinates.
+		if l+1 < len(layers) {
+			U := layers[l+1]
+			uid := func(x, y int) int { return U.offset + y*U.nx + x }
+			sx := float64(L.nx) / float64(U.nx)
+			sy := float64(L.ny) / float64(U.ny)
+			for uy := 0; uy < U.ny; uy++ {
+				for ux := 0; ux < U.nx; ux++ {
+					lx := min2(int(float64(ux)*sx), L.nx-1)
+					ly := min2(int(float64(uy)*sy), L.ny-1)
+					edges = append(edges, graph.Edge{U: id(lx, ly), V: uid(ux, uy), W: c.ViaG * jit()})
+				}
+			}
+		}
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("pg: building grid graph: %w", err)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("pg: synthesized grid is disconnected")
+	}
+
+	grid := &Grid{Cfg: c, G: g, N: n}
+
+	// Pads: random top-layer nodes.
+	top := layers[len(layers)-1]
+	topCount := top.nx * top.ny
+	padCount := int(c.PadFrac * float64(topCount))
+	if padCount < 1 {
+		padCount = 1
+	}
+	padPerm := rng.Perm(topCount)
+	for _, k := range padPerm[:padCount] {
+		grid.PadNodes = append(grid.PadNodes, top.offset+k)
+	}
+	sort.Ints(grid.PadNodes)
+
+	// Node capacitances.
+	grid.Cap = make([]float64, n)
+	for i := range grid.Cap {
+		grid.Cap[i] = c.CapMin + rng.Float64()*(c.CapMax-c.CapMin)
+	}
+
+	// Current loads on the bottom layer. As in the IBM/THU benchmarks,
+	// the sources share a small set of waveform *templates* (amplitudes
+	// vary per source): the union of breakpoints stays sparse, which is
+	// what makes varied-step integration profitable, while two templates
+	// offset by exactly one TimeAlign pin the fixed-step limit at 10 ps.
+	bottom := layers[0]
+	bottomCount := bottom.nx * bottom.ny
+	srcCount := int(c.SourceFrac * float64(bottomCount))
+	if srcCount < 0 {
+		srcCount = 0 // negative SourceFrac means "no loads"
+	} else if srcCount > bottomCount {
+		srcCount = bottomCount
+	}
+	align := func(t float64) float64 { return math.Round(t/c.TimeAlign) * c.TimeAlign }
+	const numTemplates = 6
+	templates := make([]Pulse, numTemplates)
+	for i := range templates {
+		period := align((2 + 2*rng.Float64()) * 1e-9)    // 2–4 ns
+		rise := align((0.05 + 0.1*rng.Float64()) * 1e-9) // 50–150 ps
+		if rise < c.TimeAlign {
+			rise = c.TimeAlign
+		}
+		high := align((0.3 + 0.9*rng.Float64()) * 1e-9) // 0.3–1.2 ns
+		delay := align(rng.Float64() * 1e-9)            // 0–1 ns
+		templates[i] = Pulse{Delay: delay, Rise: rise, High: high, Fall: rise, Period: period}
+	}
+	if numTemplates >= 2 {
+		// Pin the smallest breakpoint distance at exactly TimeAlign.
+		templates[1] = templates[0]
+		templates[1].Delay = templates[0].Delay + c.TimeAlign
+	}
+	srcPerm := rng.Perm(bottomCount)
+	for _, k := range srcPerm[:srcCount] {
+		wave := templates[rng.Intn(numTemplates)]
+		wave.I0 = c.IMax * (0.2 + 0.8*rng.Float64())
+		grid.Sources = append(grid.Sources, Source{Node: bottom.offset + k, Wave: wave})
+	}
+	return grid, nil
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PadDiag returns the diagonal vector of pad conductances (zero elsewhere).
+func (gr *Grid) PadDiag() []float64 {
+	d := make([]float64, gr.N)
+	for _, p := range gr.PadNodes {
+		d[p] = gr.Cfg.PadG
+	}
+	return d
+}
+
+// ConductanceMatrix assembles G = L(wires) + diag(pads): the SDD system
+// matrix of DC analysis.
+func (gr *Grid) ConductanceMatrix() *sparse.CSC {
+	return laplacianWithDiag(gr.G, gr.PadDiag())
+}
+
+// SparsifiedConductance assembles the preconditioner matrix from a
+// sparsified wire network: L(P) + diag(pads).
+func (gr *Grid) SparsifiedConductance(p *graph.Graph) *sparse.CSC {
+	if p.N != gr.N {
+		panic("pg: sparsifier vertex count mismatch")
+	}
+	return laplacianWithDiag(p, gr.PadDiag())
+}
+
+func laplacianWithDiag(g *graph.Graph, d []float64) *sparse.CSC {
+	t := sparse.NewTriplet(g.N, g.N)
+	for _, e := range g.Edges {
+		t.Add(e.U, e.V, -e.W)
+		t.Add(e.V, e.U, -e.W)
+		t.Add(e.U, e.U, e.W)
+		t.Add(e.V, e.V, e.W)
+	}
+	for i, v := range d {
+		t.Add(i, i, v)
+	}
+	return t.ToCSC()
+}
+
+// RHS fills u(t): pad injections plus load currents (drawn for a VDD net,
+// injected for a ground net).
+func (gr *Grid) RHS(t float64, u []float64) {
+	for i := range u {
+		u[i] = 0
+	}
+	if !gr.Cfg.GroundNet {
+		inj := gr.Cfg.PadG * gr.Cfg.VDD
+		for _, p := range gr.PadNodes {
+			u[p] = inj
+		}
+	}
+	sign := -1.0
+	if gr.Cfg.GroundNet {
+		sign = 1.0
+	}
+	for _, s := range gr.Sources {
+		u[s.Node] += sign * s.Wave.At(t)
+	}
+}
+
+// Breakpoints returns the sorted, deduplicated union of all source corner
+// times within (0, horizon], always ending with horizon itself.
+func (gr *Grid) Breakpoints(horizon float64) []float64 {
+	var bps []float64
+	for _, s := range gr.Sources {
+		bps = s.Wave.Breakpoints(horizon, bps)
+	}
+	sort.Float64s(bps)
+	tol := gr.Cfg.TimeAlign / 2
+	out := bps[:0]
+	last := 0.0
+	for _, t := range bps {
+		if t <= tol || t-last <= tol {
+			continue
+		}
+		out = append(out, t)
+		last = t
+	}
+	if len(out) == 0 || horizon-out[len(out)-1] > tol {
+		out = append(out, horizon)
+	}
+	return out
+}
+
+// MinBreakpointGap returns the smallest spacing of the breakpoint lattice —
+// the step-size limit the paper cites for the fixed-step direct method.
+func (gr *Grid) MinBreakpointGap(horizon float64) float64 {
+	bps := gr.Breakpoints(horizon)
+	if len(bps) < 2 {
+		return horizon
+	}
+	minGap := bps[0]
+	for i := 1; i < len(bps); i++ {
+		if g := bps[i] - bps[i-1]; g < minGap {
+			minGap = g
+		}
+	}
+	if minGap < gr.Cfg.TimeAlign {
+		minGap = gr.Cfg.TimeAlign
+	}
+	return minGap
+}

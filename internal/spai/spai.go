@@ -1,0 +1,198 @@
+// Package spai implements Algorithm 1 of the paper: a sparse approximate
+// inverse Z̃ ≈ L⁻¹ of a sparse Cholesky factor L, computed column by column
+// from j = n down to 1 using the recurrence (Proposition 2)
+//
+//	z_j = (1/L_jj) e_j + Σ_{i>j, L_ij≠0} (−L_ij/L_jj) z̃_i ,
+//
+// followed by threshold pruning: entries smaller than δ·max(z*_j) are
+// dropped, except that columns with at most log₂(n) nonzeros are kept
+// exactly. Because L is an M-matrix factor (Proposition 1: positive
+// diagonal, nonpositive off-diagonals), every entry of Z = L⁻¹ is
+// nonnegative, which makes the single-threshold pruning sound.
+//
+// The sparsifier uses Z̃ to evaluate e_ijᵀ L_S⁻¹ e_pq ≈
+// (z̃_i − z̃_j)ᵀ (z̃_p − z̃_q) (paper eq. 16/20) with only sparse vector
+// additions and dot products.
+package spai
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// ApproxInv is the sparse lower-triangular approximation Z̃ ≈ L⁻¹ stored in
+// CSC form. Indices live in the factor's permuted ordering.
+type ApproxInv struct {
+	N      int
+	ColPtr []int
+	RowIdx []int32
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (z *ApproxInv) NNZ() int { return len(z.RowIdx) }
+
+// Col returns the row indices and values of column j (sorted by row).
+func (z *ApproxInv) Col(j int) ([]int32, []float64) {
+	lo, hi := z.ColPtr[j], z.ColPtr[j+1]
+	return z.RowIdx[lo:hi], z.Val[lo:hi]
+}
+
+// Compute runs Algorithm 1 on the Cholesky factor l (lower triangular CSC,
+// diagonal entry first in each column, as produced by internal/chol) with
+// pruning threshold delta (the paper uses δ = 0.1).
+func Compute(l *sparse.CSC, delta float64) *ApproxInv {
+	n := l.Cols
+	keepAll := int(math.Ceil(math.Log2(float64(n + 1))))
+	if keepAll < 4 {
+		keepAll = 4
+	}
+	cols := make([][]int32, n)
+	vals := make([][]float64, n)
+	acc := make([]float64, n)
+	touched := make([]int32, 0, 64)
+
+	for j := n - 1; j >= 0; j-- {
+		p0 := l.ColPtr[j]
+		dj := l.Val[p0] // L_jj > 0
+		invD := 1 / dj
+		// z*_j = (1/L_jj) e_j + Σ (−L_ij/L_jj) z̃_i.
+		acc[j] += invD
+		touched = append(touched, int32(j))
+		for p := p0 + 1; p < l.ColPtr[j+1]; p++ {
+			i := l.RowIdx[p]
+			scale := -l.Val[p] * invD // −L_ij/L_jj ≥ 0 for M-matrix factors
+			ci, cv := cols[i], vals[i]
+			for k, r := range ci {
+				if acc[r] == 0 {
+					touched = append(touched, r)
+				}
+				acc[r] += scale * cv[k]
+			}
+		}
+		// Find the maximum for threshold pruning.
+		var maxV float64
+		for _, r := range touched {
+			if v := acc[r]; v > maxV {
+				maxV = v
+			}
+		}
+		thresh := 0.0
+		if len(touched) > keepAll {
+			thresh = delta * maxV
+		}
+		keepIdx := make([]int32, 0, len(touched))
+		keepVal := make([]float64, 0, len(touched))
+		for _, r := range touched {
+			v := acc[r]
+			acc[r] = 0
+			// The diagonal entry is always kept: it anchors the effective
+			// resistance estimate ‖z̃_p − z̃_q‖² of eq. (20).
+			if (v >= thresh && v != 0) || int(r) == j {
+				keepIdx = append(keepIdx, r)
+				keepVal = append(keepVal, v)
+			}
+		}
+		touched = touched[:0]
+		// Sort by row for deterministic downstream iteration.
+		sort.Sort(&colSorter{keepIdx, keepVal})
+		cols[j] = keepIdx
+		vals[j] = keepVal
+	}
+
+	z := &ApproxInv{N: n, ColPtr: make([]int, n+1)}
+	total := 0
+	for j := 0; j < n; j++ {
+		total += len(cols[j])
+	}
+	z.RowIdx = make([]int32, 0, total)
+	z.Val = make([]float64, 0, total)
+	for j := 0; j < n; j++ {
+		z.RowIdx = append(z.RowIdx, cols[j]...)
+		z.Val = append(z.Val, vals[j]...)
+		z.ColPtr[j+1] = len(z.RowIdx)
+	}
+	return z
+}
+
+type colSorter struct {
+	idx []int32
+	val []float64
+}
+
+func (s *colSorter) Len() int           { return len(s.idx) }
+func (s *colSorter) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *colSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.val[i], s.val[j] = s.val[j], s.val[i]
+}
+
+// ScatterDiff adds sign·(z̃_p − z̃_q) into the dense accumulator acc,
+// appending every newly touched row to touched. Callers must zero the
+// touched entries before reuse (see ClearScatter).
+func (z *ApproxInv) ScatterDiff(p, q int, acc []float64, touched []int32) []int32 {
+	idx, val := z.Col(p)
+	for k, r := range idx {
+		if acc[r] == 0 {
+			touched = append(touched, r)
+		}
+		acc[r] += val[k]
+	}
+	idx, val = z.Col(q)
+	for k, r := range idx {
+		if acc[r] == 0 {
+			touched = append(touched, r)
+		}
+		acc[r] -= val[k]
+	}
+	return touched
+}
+
+// ClearScatter zeroes the accumulator entries listed in touched.
+func ClearScatter(acc []float64, touched []int32) {
+	for _, r := range touched {
+		acc[r] = 0
+	}
+}
+
+// DotDiff returns (z̃_a − z̃_b)ᵀ s for a scattered dense vector s.
+func (z *ApproxInv) DotDiff(a, b int, s []float64) float64 {
+	var dot float64
+	idx, val := z.Col(a)
+	for k, r := range idx {
+		dot += val[k] * s[r]
+	}
+	idx, val = z.Col(b)
+	for k, r := range idx {
+		dot -= val[k] * s[r]
+	}
+	return dot
+}
+
+// NormSq returns ‖s‖² restricted to the touched entries of a scattered
+// vector; with s = z̃_p − z̃_q this approximates the effective resistance
+// R_S(p,q) = e_pqᵀ L_S⁻¹ e_pq.
+func NormSq(acc []float64, touched []int32) float64 {
+	var s float64
+	for _, r := range touched {
+		s += acc[r] * acc[r]
+	}
+	return s
+}
+
+// Dense expands Z̃ for tests.
+func (z *ApproxInv) Dense() [][]float64 {
+	m := make([][]float64, z.N)
+	for i := range m {
+		m[i] = make([]float64, z.N)
+	}
+	for j := 0; j < z.N; j++ {
+		idx, val := z.Col(j)
+		for k, r := range idx {
+			m[r][j] = val[k]
+		}
+	}
+	return m
+}

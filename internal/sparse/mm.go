@@ -1,0 +1,142 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket parses a Matrix Market "coordinate real" matrix
+// (general, symmetric, or skew-symmetric) from r. Symmetric inputs are
+// expanded to full storage. Pattern matrices get value 1 per entry.
+//
+// This exists so the SuiteSparse matrices the paper evaluates on can be
+// dropped in directly when available; the bench harness otherwise uses the
+// synthetic generators in internal/gen.
+func ReadMatrixMarket(r io.Reader) (*CSC, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading MatrixMarket header: %w", err)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: not a MatrixMarket matrix header: %q", strings.TrimSpace(header))
+	}
+	format, valType, symmetry := fields[2], fields[3], fields[4]
+	if format != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket format %q (only coordinate)", format)
+	}
+	pattern := valType == "pattern"
+	if !pattern && valType != "real" && valType != "integer" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket value type %q", valType)
+	}
+	symmetric := symmetry == "symmetric"
+	skew := symmetry == "skew-symmetric"
+	if !symmetric && !skew && symmetry != "general" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", symmetry)
+	}
+
+	// Skip comments, read size line.
+	var rows, cols, nnz int
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("sparse: unexpected EOF before MatrixMarket size line")
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
+		}
+		break
+	}
+
+	t := NewTriplet(rows, cols)
+	read := 0
+	for read < nnz {
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("sparse: unexpected EOF after %d of %d entries", read, nnz)
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q: %w", f[0], err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad column index %q: %w", f[1], err)
+		}
+		v := 1.0
+		if !pattern {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in entry %q", line)
+			}
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q: %w", f[2], err)
+			}
+		}
+		i--
+		j--
+		t.Add(i, j, v)
+		if i != j {
+			if symmetric {
+				t.Add(j, i, v)
+			} else if skew {
+				t.Add(j, i, -v)
+			}
+		}
+		read++
+	}
+	return t.ToCSC(), nil
+}
+
+// WriteMatrixMarket writes A in "coordinate real general" form, or
+// "coordinate real symmetric" (lower triangle only) when symmetric is true.
+func WriteMatrixMarket(w io.Writer, a *CSC, symmetric bool) error {
+	bw := bufio.NewWriter(w)
+	kind := "general"
+	if symmetric {
+		kind = "symmetric"
+	}
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real %s\n", kind); err != nil {
+		return err
+	}
+	nnz := 0
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if symmetric && a.RowIdx[k] < j {
+				continue
+			}
+			nnz++
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Rows, a.Cols, nnz); err != nil {
+		return err
+	}
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			if symmetric && i < j {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, a.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

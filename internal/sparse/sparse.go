@@ -1,0 +1,327 @@
+// Package sparse provides compressed sparse column (CSC) matrices, triplet
+// (coordinate) assembly, and the small set of kernels the sparsifier stack
+// needs: matrix–vector products, transposition, symmetric permutation,
+// triangle extraction, and dense conversion for tests.
+//
+// All matrices are real (float64) and indices are 0-based. Column pointers
+// follow the usual CSC convention: the nonzeros of column j occupy
+// RowIdx[ColPtr[j]:ColPtr[j+1]] and Val[ColPtr[j]:ColPtr[j+1]], sorted by
+// row index with no duplicates.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSC is a sparse matrix in compressed sparse column form.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int // length Cols+1
+	RowIdx     []int // length NNZ, sorted within each column
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSC) NNZ() int { return len(a.RowIdx) }
+
+// Clone returns a deep copy of a.
+func (a *CSC) Clone() *CSC {
+	b := &CSC{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		ColPtr: append([]int(nil), a.ColPtr...),
+		RowIdx: append([]int(nil), a.RowIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return b
+}
+
+// At returns the entry at (i, j) using binary search within column j.
+// It is intended for tests and debugging, not inner loops.
+func (a *CSC) At(i, j int) float64 {
+	lo, hi := a.ColPtr[j], a.ColPtr[j+1]
+	k := sort.SearchInts(a.RowIdx[lo:hi], i)
+	if lo+k < hi && a.RowIdx[lo+k] == i {
+		return a.Val[lo+k]
+	}
+	return 0
+}
+
+// MulVec computes y = A x. y must have length Rows and x length Cols;
+// y is overwritten.
+func (a *CSC) MulVec(x, y []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: A is %dx%d, x %d, y %d",
+			a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < a.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			y[a.RowIdx[k]] += a.Val[k] * xj
+		}
+	}
+}
+
+// MulVecT computes y = Aᵀ x. y must have length Cols and x length Rows.
+func (a *CSC) MulVecT(x, y []float64) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic(fmt.Sprintf("sparse: MulVecT dimension mismatch: A is %dx%d, x %d, y %d",
+			a.Rows, a.Cols, len(x), len(y)))
+	}
+	for j := 0; j < a.Cols; j++ {
+		var s float64
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			s += a.Val[k] * x[a.RowIdx[k]]
+		}
+		y[j] = s
+	}
+}
+
+// Transpose returns Aᵀ as a new matrix.
+func (a *CSC) Transpose() *CSC {
+	t := &CSC{
+		Rows:   a.Cols,
+		Cols:   a.Rows,
+		ColPtr: make([]int, a.Rows+1),
+		RowIdx: make([]int, a.NNZ()),
+		Val:    make([]float64, a.NNZ()),
+	}
+	// Count entries per row of A (= column of Aᵀ).
+	for _, i := range a.RowIdx {
+		t.ColPtr[i+1]++
+	}
+	for i := 0; i < a.Rows; i++ {
+		t.ColPtr[i+1] += t.ColPtr[i]
+	}
+	next := append([]int(nil), t.ColPtr[:a.Rows]...)
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			i := a.RowIdx[k]
+			p := next[i]
+			next[i]++
+			t.RowIdx[p] = j
+			t.Val[p] = a.Val[k]
+		}
+	}
+	return t
+}
+
+// PermuteSym returns B = P A Pᵀ where A is square and perm maps new indices
+// to old ones: B[inew, jnew] = A[perm[inew], perm[jnew]]. A should be
+// structurally symmetric for the result to be meaningful as a reordering.
+func (a *CSC) PermuteSym(perm []int) *CSC {
+	n := a.Cols
+	if a.Rows != n || len(perm) != n {
+		panic("sparse: PermuteSym needs a square matrix and a permutation of matching size")
+	}
+	inv := make([]int, n)
+	for newIdx, oldIdx := range perm {
+		inv[oldIdx] = newIdx
+	}
+	t := NewTriplet(n, n)
+	for j := 0; j < n; j++ {
+		jn := inv[j]
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			t.Add(inv[a.RowIdx[k]], jn, a.Val[k])
+		}
+	}
+	return t.ToCSC()
+}
+
+// Lower returns the lower triangle of A including the diagonal.
+func (a *CSC) Lower() *CSC {
+	t := NewTriplet(a.Rows, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if i := a.RowIdx[k]; i >= j {
+				t.Add(i, j, a.Val[k])
+			}
+		}
+	}
+	return t.ToCSC()
+}
+
+// Diag returns a copy of the diagonal of A.
+func (a *CSC) Diag() []float64 {
+	n := a.Cols
+	d := make([]float64, n)
+	for j := 0; j < n; j++ {
+		d[j] = a.At(j, j)
+	}
+	return d
+}
+
+// Dense expands A into a dense row-major matrix; for tests on small inputs.
+func (a *CSC) Dense() [][]float64 {
+	m := make([][]float64, a.Rows)
+	for i := range m {
+		m[i] = make([]float64, a.Cols)
+	}
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			m[a.RowIdx[k]][j] = a.Val[k]
+		}
+	}
+	return m
+}
+
+// IsSymmetric reports whether A equals Aᵀ up to tol in every entry.
+func (a *CSC) IsSymmetric(tol float64) bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	t := a.Transpose()
+	if t.NNZ() != a.NNZ() {
+		return false
+	}
+	for j := 0; j < a.Cols; j++ {
+		if a.ColPtr[j] != t.ColPtr[j] {
+			return false
+		}
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			if a.RowIdx[k] != t.RowIdx[k] {
+				return false
+			}
+			d := a.Val[k] - t.Val[k]
+			if d > tol || d < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AddDiag returns a copy of A with d[i] added to entry (i,i). Diagonal
+// entries missing from A's pattern are created.
+func (a *CSC) AddDiag(d []float64) *CSC {
+	if a.Rows != a.Cols || len(d) != a.Cols {
+		panic("sparse: AddDiag needs a square matrix and a diagonal of matching size")
+	}
+	t := NewTriplet(a.Rows, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			t.Add(a.RowIdx[k], j, a.Val[k])
+		}
+		t.Add(j, j, d[j])
+	}
+	return t.ToCSC()
+}
+
+// Scale multiplies every stored entry by s, in place.
+func (a *CSC) Scale(s float64) {
+	for k := range a.Val {
+		a.Val[k] *= s
+	}
+}
+
+// Triplet accumulates (row, col, value) entries; duplicates are summed when
+// converting to CSC.
+type Triplet struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewTriplet returns an empty triplet accumulator with the given shape.
+func NewTriplet(rows, cols int) *Triplet {
+	return &Triplet{Rows: rows, Cols: cols}
+}
+
+// Add appends one entry. Panics on out-of-range indices.
+func (t *Triplet) Add(i, j int, v float64) {
+	if i < 0 || i >= t.Rows || j < 0 || j >= t.Cols {
+		panic(fmt.Sprintf("sparse: triplet entry (%d,%d) out of range for %dx%d", i, j, t.Rows, t.Cols))
+	}
+	t.I = append(t.I, i)
+	t.J = append(t.J, j)
+	t.V = append(t.V, v)
+}
+
+// NNZ returns the number of accumulated entries (before duplicate merging).
+func (t *Triplet) NNZ() int { return len(t.I) }
+
+// ToCSC converts the accumulated triplets to CSC form, summing duplicates
+// and dropping explicit zeros that result from cancellation is NOT done
+// (stored zeros are kept so patterns remain predictable).
+func (t *Triplet) ToCSC() *CSC {
+	nnz := len(t.I)
+	a := &CSC{
+		Rows:   t.Rows,
+		Cols:   t.Cols,
+		ColPtr: make([]int, t.Cols+1),
+	}
+	// Counting sort by column, then sort each column segment by row and merge.
+	count := make([]int, t.Cols+1)
+	for _, j := range t.J {
+		count[j+1]++
+	}
+	for j := 0; j < t.Cols; j++ {
+		count[j+1] += count[j]
+	}
+	rowIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := append([]int(nil), count[:t.Cols]...)
+	for k := 0; k < nnz; k++ {
+		j := t.J[k]
+		p := next[j]
+		next[j]++
+		rowIdx[p] = t.I[k]
+		val[p] = t.V[k]
+	}
+	outRow := rowIdx[:0]
+	outVal := val[:0]
+	type kv struct {
+		i int
+		v float64
+	}
+	var buf []kv
+	pos := 0
+	for j := 0; j < t.Cols; j++ {
+		lo, hi := count[j], count[j+1]
+		buf = buf[:0]
+		for k := lo; k < hi; k++ {
+			buf = append(buf, kv{rowIdx[k], val[k]})
+		}
+		sort.Slice(buf, func(x, y int) bool { return buf[x].i < buf[y].i })
+		for k := 0; k < len(buf); {
+			i := buf[k].i
+			s := buf[k].v
+			k++
+			for k < len(buf) && buf[k].i == i {
+				s += buf[k].v
+				k++
+			}
+			outRow = append(outRow, i)
+			outVal = append(outVal, s)
+			pos++
+		}
+		a.ColPtr[j+1] = pos
+	}
+	a.RowIdx = append([]int(nil), outRow...)
+	a.Val = append([]float64(nil), outVal...)
+	return a
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *CSC {
+	a := &CSC{
+		Rows:   n,
+		Cols:   n,
+		ColPtr: make([]int, n+1),
+		RowIdx: make([]int, n),
+		Val:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		a.ColPtr[i+1] = i + 1
+		a.RowIdx[i] = i
+		a.Val[i] = 1
+	}
+	return a
+}

@@ -1,0 +1,325 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestMatrix() *CSC {
+	// [ 4 -1  0]
+	// [-1  4 -2]
+	// [ 0 -2  5]
+	t := NewTriplet(3, 3)
+	t.Add(0, 0, 4)
+	t.Add(0, 1, -1)
+	t.Add(1, 0, -1)
+	t.Add(1, 1, 4)
+	t.Add(1, 2, -2)
+	t.Add(2, 1, -2)
+	t.Add(2, 2, 5)
+	return t.ToCSC()
+}
+
+func TestTripletToCSCBasic(t *testing.T) {
+	a := buildTestMatrix()
+	if a.NNZ() != 7 {
+		t.Fatalf("NNZ = %d, want 7", a.NNZ())
+	}
+	if got := a.At(0, 0); got != 4 {
+		t.Errorf("At(0,0) = %g, want 4", got)
+	}
+	if got := a.At(2, 1); got != -2 {
+		t.Errorf("At(2,1) = %g, want -2", got)
+	}
+	if got := a.At(0, 2); got != 0 {
+		t.Errorf("At(0,2) = %g, want 0", got)
+	}
+}
+
+func TestTripletDuplicatesSummed(t *testing.T) {
+	tr := NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(0, 0, 2.5)
+	tr.Add(1, 0, -1)
+	a := tr.ToCSC()
+	if got := a.At(0, 0); got != 3.5 {
+		t.Errorf("duplicate sum = %g, want 3.5", got)
+	}
+	if a.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", a.NNZ())
+	}
+}
+
+func TestTripletRowsSortedWithinColumns(t *testing.T) {
+	tr := NewTriplet(5, 2)
+	tr.Add(4, 0, 1)
+	tr.Add(0, 0, 1)
+	tr.Add(2, 0, 1)
+	tr.Add(3, 1, 1)
+	tr.Add(1, 1, 1)
+	a := tr.ToCSC()
+	for j := 0; j < a.Cols; j++ {
+		for k := a.ColPtr[j] + 1; k < a.ColPtr[j+1]; k++ {
+			if a.RowIdx[k-1] >= a.RowIdx[k] {
+				t.Fatalf("column %d rows not strictly ascending: %v", j, a.RowIdx[a.ColPtr[j]:a.ColPtr[j+1]])
+			}
+		}
+	}
+}
+
+func TestTripletOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range entry")
+		}
+	}()
+	NewTriplet(2, 2).Add(2, 0, 1)
+}
+
+func TestMulVec(t *testing.T) {
+	a := buildTestMatrix()
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	a.MulVec(x, y)
+	want := []float64{4*1 - 1*2, -1*1 + 4*2 - 2*3, -2*2 + 5*3}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-14 {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMulVecTMatchesTransposeMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewTriplet(6, 4)
+	for k := 0; k < 12; k++ {
+		tr.Add(rng.Intn(6), rng.Intn(4), rng.NormFloat64())
+	}
+	a := tr.ToCSC()
+	at := a.Transpose()
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, 4)
+	a.MulVecT(x, y1)
+	y2 := make([]float64, 4)
+	at.MulVec(x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Errorf("MulVecT mismatch at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestTransposeTwiceIsIdentity(t *testing.T) {
+	a := buildTestMatrix()
+	b := a.Transpose().Transpose()
+	da, db := a.Dense(), b.Dense()
+	for i := range da {
+		for j := range da[i] {
+			if da[i][j] != db[i][j] {
+				t.Fatalf("(Aᵀ)ᵀ differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPermuteSym(t *testing.T) {
+	a := buildTestMatrix()
+	perm := []int{2, 0, 1} // new 0 ← old 2, etc.
+	b := a.PermuteSym(perm)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if got, want := b.At(i, j), a.At(perm[i], perm[j]); got != want {
+				t.Errorf("B(%d,%d) = %g, want A(%d,%d) = %g", i, j, got, perm[i], perm[j], want)
+			}
+		}
+	}
+}
+
+func TestPermuteSymIdentity(t *testing.T) {
+	a := buildTestMatrix()
+	b := a.PermuteSym([]int{0, 1, 2})
+	if !b.IsSymmetric(0) || b.At(1, 2) != a.At(1, 2) {
+		t.Error("identity permutation changed the matrix")
+	}
+}
+
+func TestLowerKeepsDiagonalAndBelow(t *testing.T) {
+	a := buildTestMatrix()
+	l := a.Lower()
+	if l.At(0, 1) != 0 {
+		t.Error("Lower kept an upper entry")
+	}
+	if l.At(1, 0) != -1 || l.At(1, 1) != 4 {
+		t.Error("Lower dropped a lower/diagonal entry")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !buildTestMatrix().IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	tr := NewTriplet(2, 2)
+	tr.Add(0, 1, 1)
+	if tr.ToCSC().IsSymmetric(0) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+}
+
+func TestAddDiag(t *testing.T) {
+	a := buildTestMatrix()
+	b := a.AddDiag([]float64{1, 2, 3})
+	if b.At(0, 0) != 5 || b.At(1, 1) != 6 || b.At(2, 2) != 8 {
+		t.Errorf("AddDiag diagonal wrong: %g %g %g", b.At(0, 0), b.At(1, 1), b.At(2, 2))
+	}
+	if b.At(0, 1) != a.At(0, 1) {
+		t.Error("AddDiag modified off-diagonal")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	i3 := Identity(3)
+	x := []float64{3, -1, 7}
+	y := make([]float64, 3)
+	i3.MulVec(x, y)
+	for k := range x {
+		if y[k] != x[k] {
+			t.Fatalf("I x ≠ x at %d", k)
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := buildTestMatrix().Diag()
+	want := []float64{4, 4, 5}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("Diag[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+}
+
+// Property: for random sparse symmetric A and any permutation,
+// PermuteSym preserves the multiset of entries and symmetry.
+func TestPermuteSymPropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		tr := NewTriplet(n, n)
+		for k := 0; k < 3*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			v := rng.NormFloat64()
+			tr.Add(i, j, v)
+			if i != j {
+				tr.Add(j, i, v)
+			}
+		}
+		a := tr.ToCSC()
+		perm := rng.Perm(n)
+		b := a.PermuteSym(perm)
+		if !b.IsSymmetric(1e-12) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(b.At(i, j)-a.At(perm[i], perm[j])) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	a := buildTestMatrix()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a, true); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows != 3 || b.Cols != 3 {
+		t.Fatalf("shape %dx%d, want 3x3", b.Rows, b.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(a.At(i, j)-b.At(i, j)) > 1e-15 {
+				t.Errorf("round trip differs at (%d,%d): %g vs %g", i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 2 3
+1 1 1.5
+3 2 -2
+2 1 4
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3 || a.Cols != 2 || a.NNZ() != 3 {
+		t.Fatalf("got %dx%d nnz=%d", a.Rows, a.Cols, a.NNZ())
+	}
+	if a.At(0, 0) != 1.5 || a.At(2, 1) != -2 || a.At(1, 0) != 4 {
+		t.Error("entries wrong after parse")
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 1\n2 1\n"
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(1, 0) != 1 || a.At(0, 1) != 1 {
+		t.Error("pattern symmetric expansion wrong")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"not a header\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n1 1\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 2\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n", // missing entry
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := buildTestMatrix()
+	b := a.Clone()
+	b.Val[0] = 99
+	if a.Val[0] == 99 {
+		t.Error("Clone shares value storage")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := buildTestMatrix()
+	a.Scale(2)
+	if a.At(0, 0) != 8 || a.At(1, 2) != -4 {
+		t.Error("Scale wrong")
+	}
+}

@@ -1,0 +1,52 @@
+package sparsify
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/lap"
+)
+
+// ExactTraceReduction computes, by dense linear algebra, the exact trace
+// reduction of recovering off-subgraph edge edgeIdx into the subgraph whose
+// edges are flagged by inSub:
+//
+//	Tr(L_S⁻¹ L_G) − Tr(L_S'⁻¹ L_G) ,  S' = S ∪ {edge} ,
+//
+// with the shared diagonal shift applied to both Laplacians. It is the
+// test oracle for eq. (11) and the truncated/approximate variants; only
+// suitable for small graphs.
+func ExactTraceReduction(g *graph.Graph, inSub []bool, edgeIdx int, shift []float64) (float64, error) {
+	if inSub[edgeIdx] {
+		return 0, fmt.Errorf("sparsify: edge %d already in subgraph", edgeIdx)
+	}
+	lg := dense.FromRows(lap.Laplacian(g, shift).Dense())
+
+	before, err := traceOf(g, inSub, lg, shift, -1)
+	if err != nil {
+		return 0, err
+	}
+	after, err := traceOf(g, inSub, lg, shift, edgeIdx)
+	if err != nil {
+		return 0, err
+	}
+	return before - after, nil
+}
+
+// ExactTrace returns Tr(L_S⁻¹ L_G) for the flagged subgraph, densely.
+func ExactTrace(g *graph.Graph, inSub []bool, shift []float64) (float64, error) {
+	lg := dense.FromRows(lap.Laplacian(g, shift).Dense())
+	return traceOf(g, inSub, lg, shift, -1)
+}
+
+func traceOf(g *graph.Graph, inSub []bool, lg *dense.Matrix, shift []float64, extraEdge int) (float64, error) {
+	idx := make([]int, 0, g.M())
+	for i, in := range inSub {
+		if in || i == extraEdge {
+			idx = append(idx, i)
+		}
+	}
+	ls := dense.FromRows(lap.Laplacian(g.Subgraph(idx), shift).Dense())
+	return dense.TraceProduct(ls, lg)
+}

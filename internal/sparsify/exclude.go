@@ -1,0 +1,115 @@
+package sparsify
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// excluder implements the spectrally-similar-edge exclusion strategy of
+// feGRASS [13]. A recovered off-subgraph edge (p,q) fixes the spectral
+// deficiency along its spanning-tree path p→q; another candidate edge whose
+// endpoints both lie on (or within SimilarityHops subgraph hops of) an
+// already-serviced path would largely fix the same deficiency, so it is
+// skipped for the rest of the selection round.
+//
+// Trace-reduction scores are globally concentrated — the top-scored edges
+// of one round tend to bridge the *same* worst deficiency — so without this
+// exclusion, batch selection wastes most of a round's quota on redundant
+// edges (observable as a 2–3× worse relative condition number).
+type excluder struct {
+	g        *graph.Graph
+	t        *tree.Tree
+	hops     int
+	corridor bool // mark the whole tree path (feGRASS [13]) vs endpoint balls only ([7])
+	mark     []int32
+	stamp    int32
+	inSub    []bool
+	queue    []int32
+	next     []int32
+}
+
+// newExcluder builds the feGRASS-style path-corridor excluder.
+func newExcluder(g *graph.Graph, t *tree.Tree, hops int) *excluder {
+	return &excluder{g: g, t: t, hops: hops, corridor: true, mark: make([]int32, g.N)}
+}
+
+// newBallExcluder builds the weaker endpoint-ball filter in the spirit of
+// GRASS's similarity-aware edge filtering [7]: only the γ-hop balls around
+// the recovered edge's endpoints are marked, not its whole tree path.
+func newBallExcluder(g *graph.Graph, t *tree.Tree, hops int) *excluder {
+	return &excluder{g: g, t: t, hops: hops, corridor: false, mark: make([]int32, g.N)}
+}
+
+// beginRound resets marks and records the subgraph used for fringe BFS.
+func (x *excluder) beginRound(inSub []bool) {
+	x.stamp++
+	x.inSub = inSub
+}
+
+// isExcluded reports whether both endpoints fall inside already-serviced
+// corridors.
+func (x *excluder) isExcluded(u, v int) bool {
+	if x.hops < 0 {
+		return false
+	}
+	return x.mark[u] == x.stamp && x.mark[v] == x.stamp
+}
+
+// markSimilar marks every vertex on the tree path p→q plus a
+// SimilarityHops-layer fringe around the path (BFS over the current
+// subgraph, multi-source from all path vertices).
+func (x *excluder) markSimilar(p, q int) {
+	if x.hops < 0 {
+		return
+	}
+	x.queue = x.queue[:0]
+	push := func(v int) {
+		if x.mark[v] != x.stamp {
+			x.mark[v] = x.stamp
+			x.queue = append(x.queue, int32(v))
+		}
+	}
+	if x.corridor {
+		// Walk both endpoints up to their LCA using depths; mark the corridor.
+		a, b := p, q
+		for x.t.Depth[a] > x.t.Depth[b] {
+			push(a)
+			a = x.t.Parent[a]
+		}
+		for x.t.Depth[b] > x.t.Depth[a] {
+			push(b)
+			b = x.t.Parent[b]
+		}
+		for a != b {
+			push(a)
+			push(b)
+			a = x.t.Parent[a]
+			b = x.t.Parent[b]
+		}
+		push(a) // the LCA itself
+	} else {
+		push(p)
+		push(q)
+	}
+
+	// Fringe: expand hops layers over the current subgraph.
+	g := x.g
+	for layer := 0; layer < x.hops && len(x.queue) > 0; layer++ {
+		x.next = x.next[:0]
+		for _, u32 := range x.queue {
+			u := int(u32)
+			for ap := g.AdjStart[u]; ap < g.AdjStart[u+1]; ap++ {
+				if !x.inSub[g.AdjEdge[ap]] {
+					continue
+				}
+				v := g.AdjTarget[ap]
+				if x.mark[v] == x.stamp {
+					continue
+				}
+				x.mark[v] = x.stamp
+				x.next = append(x.next, int32(v))
+			}
+		}
+		x.queue, x.next = x.next, x.queue
+	}
+}

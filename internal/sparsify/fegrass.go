@@ -1,0 +1,34 @@
+package sparsify
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// runFeGRASS implements the feGRASS baseline [13]: spectral criticality by
+// tree effective resistance — edge score w_pq · R_T(p,q) (eq. 4), computed
+// for all off-tree edges in one offline-LCA pass. feGRASS is single-shot
+// (no densification): the whole edge budget is selected at once, with the
+// similarity exclusion applied during selection.
+func runFeGRASS(g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options) error {
+	t0 := time.Now()
+	cand := offSubgraphEdges(g, res.InSub)
+	pairs := make([][2]int, len(cand))
+	for i, e := range cand {
+		pairs[i] = [2]int{g.Edges[e].U, g.Edges[e].V}
+	}
+	rs := st.Resistances(pairs)
+	scores := make([]float64, len(cand))
+	for i, e := range cand {
+		scores[i] = g.Edges[e].W * rs[i]
+	}
+	res.Stats.ScoreTime += time.Since(t0)
+
+	excl := newExcluder(g, st, o.SimilarityHops)
+	added := selectEdges(g, res, excl, cand, scores, budget)
+	res.Stats.EdgesAdded += added
+	res.Stats.Rounds = 1
+	return nil
+}

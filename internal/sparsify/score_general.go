@@ -1,0 +1,118 @@
+package sparsify
+
+import (
+	"repro/internal/chol"
+	"repro/internal/graph"
+	"repro/internal/spai"
+)
+
+// scoreGeneralPhase computes the approximate truncated trace reduction
+// (eq. 20) of every candidate off-subgraph edge with respect to a general
+// subgraph S, using the sparse approximate inverse Z̃ ≈ L⁻¹ of S's Cholesky
+// factor: e_ijᵀ L_S⁻¹ e_pq ≈ (z̃_i − z̃_j)ᵀ (z̃_p − z̃_q) and
+// R_S(p,q) ≈ ‖z̃_p − z̃_q‖².
+func scoreGeneralPhase(g *graph.Graph, inSub []bool, f *chol.Factor, z *spai.ApproxInv,
+	cand []int, o Options) []float64 {
+
+	scores := make([]float64, len(cand))
+	scratches := make([]*genScratch, o.Workers)
+	for w := range scratches {
+		scratches[w] = newGenScratch(g.N, g.M())
+	}
+	parallelFor(len(cand), o.Workers, func(worker, i int) {
+		sc := scratches[worker]
+		e := cand[i]
+		ed := g.Edges[e]
+		scores[i] = sc.score(g, inSub, f, z, ed.U, ed.V, ed.W, o.Beta)
+	})
+	return scores
+}
+
+// genScratch is per-worker reusable state for general-phase scoring.
+type genScratch struct {
+	cur            int32
+	stampP, stampQ []int32
+	edgeStamp      []int32
+	acc            []float64
+	touched        []int32
+	nodesP         []int32
+	frontier, next []int32
+}
+
+func newGenScratch(n, m int) *genScratch {
+	return &genScratch{
+		stampP:    make([]int32, n),
+		stampQ:    make([]int32, n),
+		edgeStamp: make([]int32, m),
+		acc:       make([]float64, n),
+	}
+}
+
+func (sc *genScratch) score(g *graph.Graph, inSub []bool, f *chol.Factor, z *spai.ApproxInv,
+	p, q int, w float64, beta int) float64 {
+
+	sc.cur++
+	// Scatter z̃_p − z̃_q (permuted indices) into the dense accumulator.
+	pp, qp := f.PermutedIndex(p), f.PermutedIndex(q)
+	sc.touched = z.ScatterDiff(pp, qp, sc.acc, sc.touched[:0])
+	r := spai.NormSq(sc.acc, sc.touched)
+
+	// β-layer BFS in the current subgraph from both endpoints.
+	sc.nodesP = sc.nodesP[:0]
+	sc.bfs(g, inSub, p, beta, sc.stampP, &sc.nodesP)
+	sc.bfs(g, inSub, q, beta, sc.stampQ, nil)
+
+	// Σ over graph edges between the two neighborhoods (eq. 20).
+	var sum float64
+	for _, i32 := range sc.nodesP {
+		i := int(i32)
+		ip := f.PermutedIndex(i)
+		for ap := g.AdjStart[i]; ap < g.AdjStart[i+1]; ap++ {
+			j := g.AdjTarget[ap]
+			if sc.stampQ[j] != sc.cur {
+				continue
+			}
+			e := g.AdjEdge[ap]
+			if sc.edgeStamp[e] == sc.cur {
+				continue
+			}
+			sc.edgeStamp[e] = sc.cur
+			d := z.DotDiff(ip, f.PermutedIndex(j), sc.acc)
+			sum += g.Edges[e].W * d * d
+		}
+	}
+	spai.ClearScatter(sc.acc, sc.touched)
+	return w * sum / (1 + w*r)
+}
+
+// bfs explores the subgraph (edges with inSub set) from src for at most
+// beta layers, stamping visited vertices and optionally collecting them.
+func (sc *genScratch) bfs(g *graph.Graph, inSub []bool, src, beta int, stamp []int32, nodes *[]int32) {
+	cur := sc.cur
+	stamp[src] = cur
+	if nodes != nil {
+		*nodes = append(*nodes, int32(src))
+	}
+	sc.frontier = append(sc.frontier[:0], int32(src))
+	for layer := 0; layer < beta && len(sc.frontier) > 0; layer++ {
+		sc.next = sc.next[:0]
+		for _, u32 := range sc.frontier {
+			u := int(u32)
+			for ap := g.AdjStart[u]; ap < g.AdjStart[u+1]; ap++ {
+				if !inSub[g.AdjEdge[ap]] {
+					continue
+				}
+				v := g.AdjTarget[ap]
+				if stamp[v] == cur {
+					continue
+				}
+				stamp[v] = cur
+				if nodes != nil {
+					*nodes = append(*nodes, int32(v))
+				}
+				sc.next = append(sc.next, int32(v))
+			}
+		}
+		sc.frontier, sc.next = sc.next, sc.frontier
+	}
+}

@@ -1,0 +1,472 @@
+package sparsify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chol"
+	"repro/internal/dense"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lap"
+	"repro/internal/spai"
+	"repro/internal/tree"
+)
+
+// tinyShift returns a near-zero shared shift for oracle comparisons.
+func tinyShift(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1e-8
+	}
+	return s
+}
+
+// exactTrRedFormula evaluates eq. (11) densely:
+// w Σ_(i,j)∈E w_ij (e_ijᵀ L_S⁻¹ e_pq)² / (1 + w R_S(p,q)).
+func exactTrRedFormula(t *testing.T, g *graph.Graph, inSub []bool, edgeIdx int, shift []float64) float64 {
+	t.Helper()
+	idx := make([]int, 0)
+	for i, in := range inSub {
+		if in {
+			idx = append(idx, i)
+		}
+	}
+	ls := dense.FromRows(lap.Laplacian(g.Subgraph(idx), shift).Dense())
+	inv, err := dense.InvSPD(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := g.Edges[edgeIdx]
+	p, q := ed.U, ed.V
+	col := func(a, b int) []float64 {
+		x := make([]float64, g.N)
+		for r := 0; r < g.N; r++ {
+			x[r] = inv.At(r, a) - inv.At(r, b)
+		}
+		return x
+	}
+	zpq := col(p, q)
+	var sum float64
+	for _, e := range g.Edges {
+		d := zpq[e.U] - zpq[e.V]
+		sum += e.W * d * d
+	}
+	r := zpq[p] - zpq[q]
+	return ed.W * sum / (1 + ed.W*r)
+}
+
+// TestShermanMorrisonIdentity validates the paper's derivation (8)–(11):
+// the closed-form trace reduction equals the actual trace difference.
+func TestShermanMorrisonIdentity(t *testing.T) {
+	g := gen.RandomConnected(12, 14, 1)
+	st, err := tree.MEWST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := tinyShift(g.N)
+	inSub := append([]bool(nil), st.InTree...)
+	for _, e := range st.OffTreeEdges() {
+		formula := exactTrRedFormula(t, g, inSub, e, shift)
+		diff, err := ExactTraceReduction(g, inSub, e, shift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(formula-diff) > 1e-4*(1+math.Abs(diff)) {
+			t.Errorf("edge %d: formula %g vs trace diff %g", e, formula, diff)
+		}
+	}
+}
+
+// TestTreePhaseExactWithLargeBeta: with β ≥ diameter the truncated sum is
+// the full sum and the tree-phase BFS voltages are exact, so the score must
+// match eq. (11) computed densely.
+func TestTreePhaseExactWithLargeBeta(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := gen.RandomConnected(15, 12, seed)
+		st, err := tree.MEWST(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inSub := append([]bool(nil), st.InTree...)
+		shift := tinyShift(g.N)
+		cand := st.OffTreeEdges()
+		o := Options{Beta: 100, Workers: 1}.withDefaults()
+		o.Beta = 100
+		scores := scoreTreePhase(g, st, cand, o)
+		for i, e := range cand {
+			want := exactTrRedFormula(t, g, inSub, e, shift)
+			if math.Abs(scores[i]-want) > 1e-3*(1+want) {
+				t.Errorf("seed %d edge %d: tree-phase %g, dense %g", seed, e, scores[i], want)
+			}
+		}
+	}
+}
+
+// TestTreePhaseTruncationUnderestimates: truncation drops nonnegative terms,
+// so tTrRed(β small) ≤ tTrRed(β large).
+func TestTreePhaseTruncationMonotoneInBeta(t *testing.T) {
+	g := gen.Grid2D(8, 8, 3)
+	st, err := tree.MEWST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := st.OffTreeEdges()
+	o := Options{Workers: 1}.withDefaults()
+	o.Beta = 2
+	s2 := scoreTreePhase(g, st, cand, o)
+	o.Beta = 50
+	s50 := scoreTreePhase(g, st, cand, o)
+	for i := range cand {
+		if s2[i] > s50[i]+1e-9 {
+			t.Errorf("edge %d: truncated score %g exceeds full %g", cand[i], s2[i], s50[i])
+		}
+	}
+}
+
+// TestGeneralPhaseMatchesExactOnTree: with δ = 0 (exact inverse factor) and
+// large β, the SPAI-based score on the tree subgraph must agree with the
+// dense eq. (11) (up to the diagonal shift).
+func TestGeneralPhaseMatchesExactOnTree(t *testing.T) {
+	g := gen.RandomConnected(14, 10, 5)
+	st, err := tree.MEWST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSub := append([]bool(nil), st.InTree...)
+	shift := make([]float64, g.N)
+	for i := range shift {
+		shift[i] = 1e-6
+	}
+	ls := lap.Laplacian(g.Subgraph(st.EdgeIdx), shift)
+	f, err := chol.New(ls, chol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := spai.Compute(f.L, 0)
+	cand := offSubgraphEdges(g, inSub)
+	o := Options{Workers: 1}.withDefaults()
+	o.Beta = 100
+	scores := scoreGeneralPhase(g, inSub, f, z, cand, o)
+	for i, e := range cand {
+		want := exactTrRedFormula(t, g, inSub, e, shift)
+		if math.Abs(scores[i]-want) > 1e-3*(1+want) {
+			t.Errorf("edge %d: general-phase %g, dense %g", e, scores[i], want)
+		}
+	}
+}
+
+// TestGeneralPhaseOnDensifiedSubgraph: same check after a round of edges
+// has been added (S is no longer a tree).
+func TestGeneralPhaseOnDensifiedSubgraph(t *testing.T) {
+	g := gen.RandomConnected(16, 20, 7)
+	st, err := tree.MEWST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSub := append([]bool(nil), st.InTree...)
+	// Add three off-tree edges to make S a general subgraph.
+	added := 0
+	for e := range g.Edges {
+		if !inSub[e] && added < 3 {
+			inSub[e] = true
+			added++
+		}
+	}
+	shift := make([]float64, g.N)
+	for i := range shift {
+		shift[i] = 1e-6
+	}
+	ls := lap.Laplacian(subgraphView(g, inSub), shift)
+	f, err := chol.New(ls, chol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := spai.Compute(f.L, 0)
+	cand := offSubgraphEdges(g, inSub)
+	o := Options{Workers: 1}.withDefaults()
+	o.Beta = 100
+	scores := scoreGeneralPhase(g, inSub, f, z, cand, o)
+	for i, e := range cand {
+		want := exactTrRedFormula(t, g, inSub, e, shift)
+		if math.Abs(scores[i]-want) > 5e-3*(1+want) {
+			t.Errorf("edge %d: general-phase %g, dense %g", e, scores[i], want)
+		}
+	}
+}
+
+// TestTraceMonotoneUnderRecovery: recovering any off-subgraph edge cannot
+// increase Tr(L_S⁻¹ L_G) (eq. 10: the reduction term is nonnegative).
+func TestTraceMonotoneUnderRecoveryQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(8)
+		g := gen.RandomConnected(n, n, seed)
+		st, err := tree.MEWST(g)
+		if err != nil {
+			return false
+		}
+		off := st.OffTreeEdges()
+		if len(off) == 0 {
+			return true
+		}
+		inSub := append([]bool(nil), st.InTree...)
+		shift := tinyShift(n)
+		red, err := ExactTraceReduction(g, inSub, off[rng.Intn(len(off))], shift)
+		if err != nil {
+			return false
+		}
+		return red > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparsifyBasicInvariants(t *testing.T) {
+	g := gen.Grid2D(20, 20, 9)
+	res, err := Sparsify(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparsifier.Connected() {
+		t.Error("sparsifier disconnected")
+	}
+	wantEdges := g.N - 1 + int(0.10*float64(g.N))
+	if got := len(res.EdgeIdx); got != wantEdges {
+		t.Errorf("sparsifier has %d edges, want %d", got, wantEdges)
+	}
+	// Every sparsifier edge must be a G edge with identical weight.
+	for _, e := range res.EdgeIdx {
+		if e < 0 || e >= g.M() {
+			t.Fatalf("edge index %d out of range", e)
+		}
+	}
+	if res.Stats.EdgesAdded != int(0.10*float64(g.N)) {
+		t.Errorf("EdgesAdded = %d", res.Stats.EdgesAdded)
+	}
+	if res.Stats.Rounds != 5 {
+		t.Errorf("Rounds = %d, want 5", res.Stats.Rounds)
+	}
+}
+
+func TestSparsifyAllMethodsRun(t *testing.T) {
+	g := gen.Tri2D(15, 15, 10)
+	for _, m := range []Method{TraceReduction, GRASS, FeGRASS} {
+		res, err := Sparsify(g, Options{Method: m, Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !res.Sparsifier.Connected() {
+			t.Errorf("%v: sparsifier disconnected", m)
+		}
+		if len(res.EdgeIdx) <= g.N-1 {
+			t.Errorf("%v: no edges recovered", m)
+		}
+	}
+}
+
+// TestSparsifierImprovesTrace: the densified sparsifier must have a smaller
+// exact Tr(L_P⁻¹ L_G) than the bare spanning tree.
+func TestSparsifierImprovesTrace(t *testing.T) {
+	g := gen.Grid2D(9, 9, 11)
+	res, err := Sparsify(g, Options{Alpha: 0.15, Rounds: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := tinyShift(g.N)
+	trTree, err := ExactTrace(g, res.Tree.InTree, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trSp, err := ExactTrace(g, res.InSub, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trSp >= trTree {
+		t.Errorf("sparsifier trace %g not below tree trace %g", trSp, trTree)
+	}
+}
+
+// TestTraceReductionBeatsRandomSelection: picking edges by trace reduction
+// must lower the exact trace at least as well as a random pick of the same
+// budget (averaged over a few seeds, with slack).
+func TestTraceReductionBeatsRandomSelection(t *testing.T) {
+	g := gen.Grid2D(8, 8, 12)
+	shift := tinyShift(g.N)
+	res, err := Sparsify(g, Options{Alpha: 0.12, Rounds: 2, Seed: 4, SimilarityHops: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trAlg, err := ExactTrace(g, res.InSub, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := res.Stats.EdgesAdded
+	var trRandSum float64
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 40))
+		inSub := append([]bool(nil), res.Tree.InTree...)
+		off := res.Tree.OffTreeEdges()
+		rng.Shuffle(len(off), func(i, j int) { off[i], off[j] = off[j], off[i] })
+		for _, e := range off[:budget] {
+			inSub[e] = true
+		}
+		trRand, err := ExactTrace(g, inSub, shift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trRandSum += trRand
+	}
+	if trAlg > trRandSum/trials {
+		t.Errorf("algorithm trace %g worse than random average %g", trAlg, trRandSum/trials)
+	}
+}
+
+func TestExcluderMarksTreePathAndFringe(t *testing.T) {
+	g := gen.Path(10) // path 0-1-…-9; tree = the path itself
+	st, err := tree.MaxWeight(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSub := make([]bool, g.M())
+	for i := range inSub {
+		inSub[i] = true
+	}
+	x := newExcluder(g, st, 1)
+	x.beginRound(inSub)
+	x.markSimilar(3, 6)
+	// Tree path 3-4-5-6 plus 1-hop fringe: 2..7 marked.
+	if !x.isExcluded(4, 5) {
+		t.Error("edge on serviced path not excluded")
+	}
+	if !x.isExcluded(2, 7) {
+		t.Error("edge within fringe not excluded")
+	}
+	if x.isExcluded(0, 1) {
+		t.Error("edge far from path excluded")
+	}
+	if x.isExcluded(1, 5) {
+		t.Error("edge with one unmarked endpoint excluded")
+	}
+	// New round resets marks.
+	x.beginRound(inSub)
+	if x.isExcluded(4, 5) {
+		t.Error("marks survived round reset")
+	}
+}
+
+func TestExcluderDisabled(t *testing.T) {
+	g := gen.Path(6)
+	st, err := tree.MaxWeight(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSub := make([]bool, g.M())
+	x := newExcluder(g, st, -1)
+	x.beginRound(inSub)
+	x.markSimilar(2, 3)
+	if x.isExcluded(2, 3) {
+		t.Error("disabled excluder excluded an edge")
+	}
+}
+
+func TestSimilarityExclusionSpreadsEdges(t *testing.T) {
+	// With exclusion on, the selected off-tree edges should touch more
+	// distinct vertices than with exclusion off (they cannot pile up).
+	g := gen.Grid2D(16, 16, 13)
+	with, err := Sparsify(g, Options{Seed: 5, SimilarityHops: 2, Rounds: 1, Alpha: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Sparsify(g, Options{Seed: 5, SimilarityHops: -1, Rounds: 1, Alpha: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := func(r *Result) int {
+		seen := map[int]bool{}
+		for _, e := range r.EdgeIdx {
+			if !r.Tree.InTree[e] {
+				seen[g.Edges[e].U] = true
+				seen[g.Edges[e].V] = true
+			}
+		}
+		return len(seen)
+	}
+	if distinct(with) < distinct(without) {
+		t.Errorf("exclusion did not spread endpoints: %d < %d", distinct(with), distinct(without))
+	}
+}
+
+func TestSparsifyDisconnectedGraphFails(t *testing.T) {
+	g := graph.MustNew(4, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}})
+	if _, err := Sparsify(g, Options{}); err == nil {
+		t.Fatal("expected error on disconnected graph")
+	}
+}
+
+func TestSparsifyDeterministicForFixedSeed(t *testing.T) {
+	g := gen.Tri2D(12, 12, 14)
+	a, err := Sparsify(g, Options{Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sparsify(g, Options{Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.EdgeIdx) != len(b.EdgeIdx) {
+		t.Fatalf("different sparsifier sizes: %d vs %d", len(a.EdgeIdx), len(b.EdgeIdx))
+	}
+	for i := range a.EdgeIdx {
+		if a.EdgeIdx[i] != b.EdgeIdx[i] {
+			t.Fatalf("edge sets differ at %d (parallel vs serial)", i)
+		}
+	}
+}
+
+func TestBudgetCappedByAvailableEdges(t *testing.T) {
+	// A graph that is almost a tree: budget larger than off-tree edges.
+	g := gen.RandomConnected(30, 3, 15)
+	res, err := Sparsify(g, Options{Alpha: 0.5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EdgeIdx) > g.M() {
+		t.Error("recovered more edges than exist")
+	}
+	if res.Stats.EdgesAdded > g.M()-(g.N-1) {
+		t.Error("added more than off-tree count")
+	}
+}
+
+func TestGRASSScoresFavorHighResistanceEdges(t *testing.T) {
+	// On a path-plus-shortcut graph, the shortcut across the whole path is
+	// spectrally critical; both GRASS and trace reduction must rank it
+	// above a shortcut between adjacent-ish nodes.
+	n := 40
+	edges := make([]graph.Edge, 0, n+1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1, W: 10}) // heavy tree path
+	}
+	long := len(edges)
+	edges = append(edges, graph.Edge{U: 0, V: n - 1, W: 1})
+	short := len(edges)
+	edges = append(edges, graph.Edge{U: 5, V: 7, W: 1})
+	g := graph.MustNew(n, edges)
+	st, err := tree.MEWST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InTree[long] || st.InTree[short] {
+		t.Skip("tree picked a shortcut; topology assumption violated")
+	}
+	o := Options{Workers: 1}.withDefaults()
+	scores := scoreTreePhase(g, st, []int{long, short}, o)
+	if scores[0] <= scores[1] {
+		t.Errorf("long-range edge score %g not above local edge %g", scores[0], scores[1])
+	}
+}

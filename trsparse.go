@@ -1,0 +1,179 @@
+// Package trsparse is a from-scratch Go implementation of graph spectral
+// sparsification via approximate trace reduction (Liu & Yu, DAC 2022,
+// arXiv:2206.06223), together with the GRASS and feGRASS baselines, a
+// sparse Cholesky / PCG solver stack, synthetic benchmark generators, a
+// power-grid transient simulator, and spectral partitioning — everything
+// needed to regenerate the paper's evaluation.
+//
+// # Quick start
+//
+//	g := trsparse.Grid2D(300, 300, 1)               // a weighted 2D grid
+//	res, err := trsparse.Sparsify(g, trsparse.Options{})
+//	// res.Sparsifier is an ultra-sparse subgraph spectrally similar to g:
+//	out, err := trsparse.Evaluate(g, trsparse.Options{}, trsparse.EvalOptions{})
+//	fmt.Println(out.Kappa, out.PCGIters)            // κ(L_G, L_P), PCG iters
+//
+// The sparsifier is built per the paper's Algorithm 2: a maximum
+// effective-weight spanning tree, then five rounds of off-subgraph edge
+// recovery ranked by (approximate, truncated) trace reduction of
+// Tr(L_S⁻¹ L_G), with spectrally similar edges excluded per round. Use
+// Options.Method to select the GRASS or feGRASS baselines instead.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table and figure.
+package trsparse
+
+import (
+	"repro/internal/chol"
+	"repro/internal/core"
+	"repro/internal/eig"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lap"
+	"repro/internal/solver"
+	"repro/internal/sparsify"
+)
+
+// Graph is a weighted undirected graph (vertices 0..N−1, positive edge
+// weights).
+type Graph = graph.Graph
+
+// Edge is one weighted undirected edge of a Graph.
+type Edge = graph.Edge
+
+// Method selects the sparsification algorithm.
+type Method = sparsify.Method
+
+// Sparsification methods.
+const (
+	// TraceReduction is the paper's algorithm (default).
+	TraceReduction = sparsify.TraceReduction
+	// GRASS is the spectral-perturbation baseline of Feng (TCAD 2020).
+	GRASS = sparsify.GRASS
+	// FeGRASS is the effective-resistance baseline of Liu, Yu & Feng
+	// (TCAD 2021).
+	FeGRASS = sparsify.FeGRASS
+)
+
+// Options configures Sparsify; the zero value selects the paper's
+// parameters (α = 10%·|V| recovered edges, N_r = 5 rounds, β = 5,
+// δ = 0.1).
+type Options = sparsify.Options
+
+// Result is a computed sparsifier plus instrumentation.
+type Result = sparsify.Result
+
+// EvalOptions configures Evaluate's measurements.
+type EvalOptions = core.EvalOptions
+
+// Outcome bundles everything the paper's Table 1 reports for one run.
+type Outcome = core.Outcome
+
+// NewGraph validates and builds a graph from an edge list; duplicate edges
+// are merged by summing weights.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
+
+// Sparsify computes a spectral sparsifier of the connected graph g.
+func Sparsify(g *Graph, opts Options) (*Result, error) { return sparsify.Sparsify(g, opts) }
+
+// Evaluate sparsifies g and measures sparsifier quality the way the
+// paper's Table 1 does: κ(L_G, L_P) by generalized Lanczos and PCG
+// iterations/time on a random right-hand side.
+func Evaluate(g *Graph, opts Options, eopts EvalOptions) (*Outcome, error) {
+	return core.Evaluate(g, opts, eopts)
+}
+
+// CondNumber estimates the relative condition number κ(L_G, L_P) of a
+// graph and a subgraph sparsifier, using the shared diagonal
+// regularization the paper describes (λmin of the pencil is 1, so κ equals
+// the largest generalized eigenvalue).
+func CondNumber(g, sparsifier *Graph, seed int64) (float64, error) {
+	shift := lap.Shift(g, 0)
+	lg := lap.Laplacian(g, shift)
+	lp := lap.Laplacian(sparsifier, shift)
+	f, err := chol.New(lp, chol.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return eig.CondNumber(lg, f, eig.GenMaxOptions{Seed: seed}), nil
+}
+
+// SolvePCG solves L_G x = b with PCG preconditioned by the sparsifier's
+// Cholesky factorization, returning the solution and the iteration count.
+// tol is the relative residual tolerance (≤0 selects 1e-6).
+func SolvePCG(g, sparsifier *Graph, b []float64, tol float64) ([]float64, int, error) {
+	shift := lap.Shift(g, 0)
+	lg := lap.Laplacian(g, shift)
+	lp := lap.Laplacian(sparsifier, shift)
+	f, err := chol.New(lp, chol.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, g.N)
+	r := solver.PCG(lg, b, x, solver.NewCholPrecond(f), solver.Options{Tol: tol})
+	return x, r.Iterations, nil
+}
+
+// TraceProxy estimates Tr(L_P⁻¹ L_G) — the paper's proxy for the relative
+// condition number (eq. 5) and the quantity Algorithm 2 greedily reduces —
+// with a Hutchinson stochastic estimator (≈30 probes give a few percent
+// accuracy; pass probes ≤ 0 for the default).
+func TraceProxy(g, sparsifier *Graph, probes int, seed int64) (float64, error) {
+	shift := lap.Shift(g, 0)
+	lg := lap.Laplacian(g, shift)
+	lp := lap.Laplacian(sparsifier, shift)
+	f, err := chol.New(lp, chol.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return eig.TraceEst(lg, f, probes, seed), nil
+}
+
+// Fiedler approximates the Fiedler vector of g (the eigenvector of the
+// second-smallest Laplacian eigenvalue) by `steps` rounds of inverse power
+// iteration, solving each inner system with PCG preconditioned by the
+// sparsifier. It is the building block of spectral partitioning (§4.3).
+func Fiedler(g, sparsifier *Graph, steps int, tol float64, seed int64) ([]float64, error) {
+	shift := lap.Shift(g, 0)
+	lg := lap.Laplacian(g, shift)
+	lp := lap.Laplacian(sparsifier, shift)
+	f, err := chol.New(lp, chol.Options{})
+	if err != nil {
+		return nil, err
+	}
+	pre := solver.NewCholPrecond(f)
+	// Warm start each solve from the previous one's scale: the normalized
+	// RHS converges to the Fiedler direction, so x ≈ (1/λ₂)·b.
+	prevScale := 0.0
+	fv := eig.Fiedler(g.N, steps, seed, func(dst, b []float64) {
+		for i := range dst {
+			dst[i] = b[i] * prevScale
+		}
+		solver.PCG(lg, b, dst, pre, solver.Options{Tol: tol})
+		var s float64
+		for i := range dst {
+			s += dst[i] * b[i]
+		}
+		prevScale = s
+	})
+	return fv, nil
+}
+
+// Grid2D generates an nx×ny 5-point grid with jittered weights — the
+// stand-in for grid-like SuiteSparse cases such as ecology2.
+func Grid2D(nx, ny int, seed int64) *Graph { return gen.Grid2D(nx, ny, seed) }
+
+// Tri2D generates a structured triangulation (|E| ≈ 3|V|) — the stand-in
+// for the paper's 2D finite-element meshes.
+func Tri2D(nx, ny int, seed int64) *Graph { return gen.Tri2D(nx, ny, seed) }
+
+// CircuitGrid generates a grid with random local shortcuts — the stand-in
+// for circuit matrices such as G3_circuit.
+func CircuitGrid(nx, ny int, extraFrac float64, seed int64) *Graph {
+	return gen.CircuitGrid(nx, ny, extraFrac, seed)
+}
+
+// RandomGeometric generates a connected random geometric graph.
+func RandomGeometric(n int, radius float64, seed int64) *Graph {
+	return gen.RandomGeometric(n, radius, seed)
+}
