@@ -12,8 +12,10 @@ package trsparse
 // the full formatted tables instead.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"testing"
@@ -141,6 +143,76 @@ func BenchmarkSparsifyMethods(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEngineBatch measures the serving path rather than single-shot
+// sparsification: batch fan-out across the engine's worker pool, a cold
+// solve (sparsify + factorize + PCG), and a cache-hit solve (pure
+// factorization reuse). The cold/cache-hit gap is the amortization the
+// artifact store buys on repeated traffic against the same graph.
+func BenchmarkEngineBatch(b *testing.B) {
+	scale := benchScale()
+	side := int(40 * scale * 4) // 40 at the default 0.25 scale
+	if side < 10 {
+		side = 10
+	}
+	ctx := context.Background()
+
+	b.Run("sparsify-all-cold", func(b *testing.B) {
+		gs := make([]*Graph, 8)
+		for i := range gs {
+			gs[i] = Grid2D(side, side, int64(i+1))
+		}
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(EngineOptions{CacheSize: len(gs)})
+			for _, it := range e.SparsifyAll(ctx, gs) {
+				if it.Err != nil {
+					b.Fatal(it.Err)
+				}
+			}
+		}
+	})
+
+	g := Grid2D(side, side, 1)
+	rng := rand.New(rand.NewSource(11))
+	rhs := make([]float64, g.N)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+
+	b.Run("solve-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := NewEngine(EngineOptions{})
+			r, err := e.Solve(ctx, g, rhs, 1e-6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.Converged || r.CacheHit {
+				b.Fatalf("cold solve: converged=%v hit=%v", r.Converged, r.CacheHit)
+			}
+		}
+	})
+
+	b.Run("solve-cachehit", func(b *testing.B) {
+		e := NewEngine(EngineOptions{})
+		if _, _, err := e.Sparsify(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		iters := 0
+		for i := 0; i < b.N; i++ {
+			r, err := e.Solve(ctx, g, rhs, 1e-6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.CacheHit || !r.Converged {
+				b.Fatalf("warm solve: converged=%v hit=%v", r.Converged, r.CacheHit)
+			}
+			iters = r.Iterations
+		}
+		b.ReportMetric(float64(iters), "pcg-iters")
+		b.ReportMetric(e.Stats().HitRate(), "hit-rate")
+	})
 }
 
 // BenchmarkAblationBeta quantifies the β truncation depth tradeoff of

@@ -1,0 +1,89 @@
+// Command trsparsed serves the trace-reduction sparsification engine over
+// HTTP/JSON: sparsifiers are built concurrently on a bounded worker pool,
+// cached by graph fingerprint, and their Cholesky factorizations reused
+// across PCG solves. See README.md in this directory for the endpoint
+// reference with curl examples.
+//
+// Usage:
+//
+//	trsparsed -addr :8372 -workers 8 -cache 128 -job-timeout 2m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sparsify"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trsparsed: ")
+
+	addr := flag.String("addr", ":8372", "listen address")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "max cached sparsifier artifacts")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job timeout including queue wait (0 disables)")
+	method := flag.String("method", "trace", "sparsification method: trace | grass | fegrass")
+	alpha := flag.Float64("alpha", 0, "fraction of |V| off-tree edges to recover (0 = paper default 0.10)")
+	rounds := flag.Int("rounds", 0, "densification rounds N_r (0 = paper default 5)")
+	seed := flag.Int64("seed", 1, "random seed for sparsifier construction")
+	flag.Parse()
+
+	var m sparsify.Method
+	switch *method {
+	case "trace":
+		m = sparsify.TraceReduction
+	case "grass":
+		m = sparsify.GRASS
+	case "fegrass":
+		m = sparsify.FeGRASS
+	default:
+		log.Fatalf("unknown method %q (want trace, grass, or fegrass)", *method)
+	}
+
+	eng := engine.New(engine.Options{
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+		Sparsify:   sparsify.Options{Method: m, Alpha: *alpha, Rounds: *rounds, Seed: *seed},
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Shutdown makes ListenAndServe return immediately while it is still
+	// draining in-flight requests, so main must wait on drained before
+	// exiting or the grace period is cut short.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s (workers=%d cache=%d method=%s)",
+		*addr, eng.Options().Workers, *cacheSize, m)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	stop()
+	<-drained
+}

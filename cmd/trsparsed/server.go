@@ -1,0 +1,285 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"mime"
+	"net/http"
+	"strings"
+	"time"
+
+	trsparse "repro"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// maxBodyBytes caps request bodies; a 64 MiB Matrix Market file covers
+// every SuiteSparse case the paper evaluates.
+const maxBodyBytes = 64 << 20
+
+// server wires the sparsification engine to the HTTP surface.
+type server struct {
+	eng   *engine.Engine
+	start time.Time
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{eng: eng, start: time.Now()}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sparsify", s.handleSparsify)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// graphPayload is an inline graph: vertex count plus [u, v, w] triples.
+type graphPayload struct {
+	N     int          `json:"n"`
+	Edges [][3]float64 `json:"edges"`
+}
+
+func (p *graphPayload) toGraph() (*graph.Graph, error) {
+	if p == nil {
+		return nil, errors.New("missing graph")
+	}
+	if p.N < 1 {
+		return nil, fmt.Errorf("graph needs at least one vertex, got n=%d", p.N)
+	}
+	// Sparsification needs a connected graph, which takes at least n-1
+	// edges; rejecting larger n here keeps a tiny request body from
+	// driving O(n) adjacency allocations with an inflated vertex count.
+	if p.N > len(p.Edges)+1 {
+		return nil, fmt.Errorf("n=%d cannot be connected by %d edges", p.N, len(p.Edges))
+	}
+	edges := make([]graph.Edge, len(p.Edges))
+	for i, e := range p.Edges {
+		if e[0] != math.Trunc(e[0]) || e[1] != math.Trunc(e[1]) {
+			return nil, fmt.Errorf("edge %d has non-integer endpoints [%g, %g]", i, e[0], e[1])
+		}
+		edges[i] = graph.Edge{U: int(e[0]), V: int(e[1]), W: e[2]}
+	}
+	return graph.New(p.N, edges)
+}
+
+func edgesPayload(g *graph.Graph) [][3]float64 {
+	out := make([][3]float64, g.M())
+	for i, e := range g.Edges {
+		out[i] = [3]float64{float64(e.U), float64(e.V), e.W}
+	}
+	return out
+}
+
+type sparsifyRequest struct {
+	Graph *graphPayload `json:"graph"`
+}
+
+type sparsifyResponse struct {
+	Key             string       `json:"key"`
+	N               int          `json:"n"`
+	M               int          `json:"m"`
+	SparsifierEdges [][3]float64 `json:"sparsifier_edges,omitempty"`
+	EdgeCount       int          `json:"sparsifier_edge_count"`
+	Cached          bool         `json:"cached"`
+	BuildMS         float64      `json:"build_ms"`
+}
+
+// isMatrixMarket reports whether the request body is a Matrix Market file
+// rather than JSON, judged by Content-Type (text/* or
+// application/x-matrix-market) or an explicit ?format=mm.
+func isMatrixMarket(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "mm" {
+		return true
+	}
+	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil {
+		return false
+	}
+	return ct == "application/x-matrix-market" || strings.HasPrefix(ct, "text/")
+}
+
+// readGraph extracts the graph from a sparsify request body, accepting
+// either JSON (inline edge list) or a raw Matrix Market upload.
+func (s *server) readGraph(w http.ResponseWriter, r *http.Request) (*graph.Graph, error) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if isMatrixMarket(r) {
+		return trsparse.ReadMatrixMarketGraph(body)
+	}
+	var req sparsifyRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding JSON body: %w", err)
+	}
+	return req.Graph.toGraph()
+}
+
+func (s *server) handleSparsify(w http.ResponseWriter, r *http.Request) {
+	g, err := s.readGraph(w, r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	art, cached, err := s.eng.Sparsify(r.Context(), g)
+	if err != nil {
+		writeErr(w, statusOf(err), err)
+		return
+	}
+	resp := sparsifyResponse{
+		Key:       art.Key,
+		N:         art.Fingerprint.N,
+		M:         art.Fingerprint.M,
+		EdgeCount: art.Sparsifier.M(),
+		Cached:    cached,
+		BuildMS:   float64(art.BuildTime) / float64(time.Millisecond),
+	}
+	// ?edges=false skips materializing the sparsifier edge list — for
+	// clients that only want the key for later /v1/solve calls, rendering
+	// millions of [u,v,w] triples per request is pure memory amplification.
+	if v := r.URL.Query().Get("edges"); v != "false" && v != "0" {
+		resp.SparsifierEdges = edgesPayload(art.Sparsifier)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type solveRequest struct {
+	// Key references an artifact from a previous /v1/sparsify response;
+	// alternatively pass the graph inline.
+	Key   string        `json:"key,omitempty"`
+	Graph *graphPayload `json:"graph,omitempty"`
+	B     []float64     `json:"b"`
+	Tol   float64       `json:"tol,omitempty"`
+}
+
+type solveResponse struct {
+	Key        string    `json:"key"`
+	X          []float64 `json:"x"`
+	Iterations int       `json:"iterations"`
+	RelRes     float64   `json:"relres"`
+	Converged  bool      `json:"converged"`
+	Cached     bool      `json:"cached"`
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding JSON body: %w", err))
+		return
+	}
+	if len(req.B) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("missing rhs b"))
+		return
+	}
+
+	var (
+		res *engine.SolveResult
+		err error
+	)
+	switch {
+	case req.Key != "":
+		art, ok := s.eng.Lookup(req.Key)
+		if !ok {
+			writeErr(w, http.StatusNotFound,
+				fmt.Errorf("no cached artifact for key %q (evicted or never built); re-POST /v1/sparsify", req.Key))
+			return
+		}
+		res, err = s.eng.SolveArtifact(r.Context(), art, req.B, req.Tol)
+		if res != nil {
+			res.CacheHit = true
+		}
+	case req.Graph != nil:
+		var g *graph.Graph
+		g, err = req.Graph.toGraph()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err = s.eng.Solve(r.Context(), g, req.B, req.Tol)
+	default:
+		writeErr(w, http.StatusBadRequest, errors.New("pass either key or graph"))
+		return
+	}
+	if err != nil {
+		writeErr(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse{
+		Key:        res.Artifact.Key,
+		X:          res.X,
+		Iterations: res.Iterations,
+		RelRes:     res.RelRes,
+		Converged:  res.Converged,
+		Cached:     res.CacheHit,
+	})
+}
+
+type statsResponse struct {
+	engine.Stats
+	HitRate       float64 `json:"cache_hit_rate"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:         st,
+		HitRate:       st.HitRate(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.eng.Options().Workers,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statusOf maps engine errors to HTTP statuses: cancellations and timeouts
+// surface as 503 (the service is saturated or the client gave up),
+// recovered panics as 500 (an engine fault, not the client's graph),
+// everything else as 422 (the graph itself was unusable).
+func statusOf(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, engine.ErrInternal) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode before committing the status so an encoding failure (e.g. a
+	// NaN that slipped into a result) yields a clean 500 instead of a 200
+	// with a truncated body.
+	buf, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("encoding response: %v", err)
+		status = http.StatusInternalServerError
+		buf = []byte(`{"error":"internal server error: unencodable response"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(append(buf, '\n')); err != nil {
+		log.Printf("writing response: %v", err)
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	// Server faults keep their detail in the log, not the response body.
+	if status >= http.StatusInternalServerError {
+		log.Printf("internal error: %v", err)
+		err = errors.New("internal server error")
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

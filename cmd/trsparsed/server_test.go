@@ -1,0 +1,298 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lap"
+	"repro/internal/sparse"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(engine.New(engine.Options{Workers: 4, CacheSize: 8})).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp
+}
+
+func graphRequest(g *graph.Graph) sparsifyRequest {
+	return sparsifyRequest{Graph: &graphPayload{N: g.N, Edges: edgesPayload(g)}}
+}
+
+func signOf(i int) float64 {
+	if i%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// TestSparsifyAndSolveEndToEnd is the smoke test the issue requires:
+// sparsify a Grid2D(50,50,1) graph over HTTP, then solve against the cached
+// artifact and check PCG converged to 1e-6 — verified independently by
+// recomputing the residual against the regularized Laplacian.
+func TestSparsifyAndSolveEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(50, 50, 1)
+
+	var sp sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v1/sparsify", graphRequest(g), &sp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sparsify status = %d", resp.StatusCode)
+	}
+	if sp.Key == "" || sp.Cached {
+		t.Fatalf("unexpected sparsify response: %+v", sp)
+	}
+	if sp.N != g.N || sp.M != g.M() {
+		t.Fatalf("echoed dims %d/%d, want %d/%d", sp.N, sp.M, g.N, g.M())
+	}
+	if sp.EdgeCount <= 0 || sp.EdgeCount >= g.M() || len(sp.SparsifierEdges) != sp.EdgeCount {
+		t.Fatalf("implausible sparsifier size %d of %d", sp.EdgeCount, g.M())
+	}
+
+	// A second identical sparsify must be served from the cache.
+	var sp2 sparsifyResponse
+	postJSON(t, ts.URL+"/v1/sparsify", graphRequest(g), &sp2)
+	if !sp2.Cached || sp2.Key != sp.Key {
+		t.Fatalf("second sparsify not cached: %+v", sp2)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	var sol solveResponse
+	if resp := postJSON(t, ts.URL+"/v1/solve",
+		solveRequest{Key: sp.Key, B: b, Tol: 1e-6}, &sol); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", resp.StatusCode)
+	}
+	if !sol.Converged || sol.Iterations <= 0 || sol.RelRes > 1e-6 {
+		t.Fatalf("solve did not converge to 1e-6: iters=%d relres=%g", sol.Iterations, sol.RelRes)
+	}
+	if !sol.Cached {
+		t.Fatal("solve by key did not report a cache hit")
+	}
+
+	// Independent residual check: ‖b − L_G x‖ / ‖b‖ against the same
+	// regularized Laplacian the engine solves with.
+	lg := lap.Laplacian(g, lap.Shift(g, 0))
+	r := make([]float64, g.N)
+	lg.MulVec(sol.X, r)
+	var rn, bn float64
+	for i := range r {
+		d := b[i] - r[i]
+		rn += d * d
+		bn += b[i] * b[i]
+	}
+	if rel := math.Sqrt(rn / bn); rel > 1e-6 {
+		t.Fatalf("recomputed residual %g exceeds 1e-6", rel)
+	}
+}
+
+func TestSolveInlineGraph(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(20, 20, 3)
+	b := make([]float64, g.N)
+	b[0], b[g.N-1] = 1, -1
+	var sol solveResponse
+	req := solveRequest{Graph: &graphPayload{N: g.N, Edges: edgesPayload(g)}, B: b, Tol: 1e-6}
+	if resp := postJSON(t, ts.URL+"/v1/solve", req, &sol); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", resp.StatusCode)
+	}
+	if !sol.Converged || sol.Cached {
+		t.Fatalf("inline solve: %+v", sol)
+	}
+	// Same inline graph again: artifact now cached.
+	var sol2 solveResponse
+	postJSON(t, ts.URL+"/v1/solve", req, &sol2)
+	if !sol2.Cached {
+		t.Fatal("second inline solve missed the cache")
+	}
+}
+
+func TestSparsifyMatrixMarketUpload(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(15, 15, 2)
+	// Upload the graph as the SDD matrix form ReadMatrixMarketGraph accepts.
+	var buf bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&buf, lap.Laplacian(g, nil), true); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sparsify?format=mm", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sp sparsifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if sp.N != g.N || sp.M != g.M() || sp.EdgeCount <= 0 {
+		t.Fatalf("MM upload parsed wrong: %+v", sp)
+	}
+}
+
+func TestSparsifyEdgesOptOut(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(10, 10, 1)
+	var sp sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v1/sparsify?edges=false", graphRequest(g), &sp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(sp.SparsifierEdges) != 0 {
+		t.Fatalf("edges=false still returned %d edges", len(sp.SparsifierEdges))
+	}
+	if sp.Key == "" || sp.EdgeCount <= 0 {
+		t.Fatalf("count/key missing with edges=false: %+v", sp)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(12, 12, 1)
+	postJSON(t, ts.URL+"/v1/sparsify", graphRequest(g), nil)
+	postJSON(t, ts.URL+"/v1/sparsify", graphRequest(g), nil)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Builds != 1 || st.Hits != 1 || st.HitRate != 0.5 {
+		t.Fatalf("stats after hit: builds=%d hits=%d rate=%g", st.Builds, st.Hits, st.HitRate)
+	}
+	if st.Workers <= 0 || len(st.Latency) == 0 {
+		t.Fatalf("stats missing telemetry: %+v", st)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", hresp.StatusCode)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Unknown solve key → 404.
+	var e errorResponse
+	if resp := postJSON(t, ts.URL+"/v1/solve",
+		solveRequest{Key: "g9-9-0000000000000000", B: []float64{1}}, &e); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(e.Error, "no cached artifact") {
+		t.Fatalf("unhelpful error: %q", e.Error)
+	}
+
+	// Malformed JSON → 400.
+	resp, err := http.Post(ts.URL+"/v1/sparsify", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", resp.StatusCode)
+	}
+
+	// Disconnected graph → 422. Enough edges to pass the connectivity
+	// edge-count precheck (which 400s), but vertex 3 is isolated.
+	req := sparsifyRequest{Graph: &graphPayload{N: 4, Edges: [][3]float64{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}}}}
+	if resp := postJSON(t, ts.URL+"/v1/sparsify", req, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("disconnected graph status = %d", resp.StatusCode)
+	}
+
+	// Empty graph (n=0) → 400, not a crash: without validation this used
+	// to panic inside a detached build goroutine and kill the process.
+	empty := sparsifyRequest{Graph: &graphPayload{N: 0}}
+	if resp := postJSON(t, ts.URL+"/v1/sparsify", empty, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty graph status = %d", resp.StatusCode)
+	}
+
+	// Inflated vertex count → 400 before any O(n) allocation: a tiny body
+	// must not be able to declare two billion vertices.
+	huge := sparsifyRequest{Graph: &graphPayload{N: 2_000_000_000, Edges: [][3]float64{{0, 1, 1}}}}
+	if resp := postJSON(t, ts.URL+"/v1/sparsify", huge, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inflated n status = %d", resp.StatusCode)
+	}
+
+	// Same via a Matrix Market header declaring huge dimensions.
+	mm := "%%MatrixMarket matrix coordinate real general\n2000000000 2000000000 1\n1 2 1.0\n"
+	mmResp, err := http.Post(ts.URL+"/v1/sparsify?format=mm", "text/plain", strings.NewReader(mm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmResp.Body.Close()
+	if mmResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inflated MM dims status = %d", mmResp.StatusCode)
+	}
+
+	// Missing rhs → 400.
+	if resp := postJSON(t, ts.URL+"/v1/solve", solveRequest{Key: "x"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing rhs status = %d", resp.StatusCode)
+	}
+
+	// Overflow-scale rhs: dot products overflow to Inf/NaN inside PCG, so
+	// the response is unencodable JSON — must surface as a clean 500, not
+	// a 200 with a truncated body.
+	gTiny := gen.Grid2D(3, 3, 1)
+	bHuge := make([]float64, gTiny.N)
+	for i := range bHuge {
+		bHuge[i] = math.MaxFloat64 * signOf(i)
+	}
+	ovReq := solveRequest{Graph: &graphPayload{N: gTiny.N, Edges: edgesPayload(gTiny)}, B: bHuge}
+	var ovErr errorResponse
+	if resp := postJSON(t, ts.URL+"/v1/solve", ovReq, &ovErr); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("overflow rhs status = %d", resp.StatusCode)
+	}
+	if strings.Contains(ovErr.Error, "NaN") {
+		t.Fatalf("internal detail leaked to client: %q", ovErr.Error)
+	}
+
+	// Wrong method → 405 from the route table.
+	getResp, err := http.Get(ts.URL + "/v1/sparsify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET sparsify status = %d", getResp.StatusCode)
+	}
+}

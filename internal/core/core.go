@@ -7,14 +7,11 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/chol"
-	"repro/internal/eig"
 	"repro/internal/graph"
-	"repro/internal/lap"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/sparsify"
@@ -82,18 +79,17 @@ func Evaluate(g *graph.Graph, sopts sparsify.Options, eopts EvalOptions) (*Outco
 		Result:          res,
 	}
 
-	out.LG = lap.Laplacian(g, res.Shift)
-	lp := lap.Laplacian(res.Sparsifier, res.Shift)
-	f, err := chol.New(lp, chol.Options{})
+	pen, err := NewPencil(g, res.Sparsifier, res.Shift)
 	if err != nil {
-		return nil, fmt.Errorf("core: factorizing sparsifier: %w", err)
+		return nil, err
 	}
-	out.Factor = f
-	out.FactorNNZ = f.NNZ()
-	out.MemBytes = f.MemBytes()
+	out.LG = pen.LG
+	out.Factor = pen.Factor
+	out.FactorNNZ = pen.Factor.NNZ()
+	out.MemBytes = pen.Factor.MemBytes()
 
 	if !eopts.SkipKappa {
-		out.Kappa = eig.CondNumber(out.LG, f, eig.GenMaxOptions{Steps: eopts.LanczosSteps, Seed: eopts.Seed})
+		out.Kappa = pen.CondNumber(eopts.LanczosSteps, eopts.Seed)
 	}
 
 	// PCG with a random RHS (paper: random RHS, rtol 1e-3).
@@ -104,7 +100,7 @@ func Evaluate(g *graph.Graph, sopts sparsify.Options, eopts EvalOptions) (*Outco
 	}
 	x := make([]float64, g.N)
 	t0 := time.Now()
-	r := solver.PCG(out.LG, b, x, solver.NewCholPrecond(f), solver.Options{
+	r := pen.Solve(b, x, solver.Options{
 		Tol: eopts.PCGTol, MaxIter: eopts.PCGMaxIter,
 	})
 	out.PCGTime = time.Since(t0)

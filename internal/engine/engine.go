@@ -1,0 +1,425 @@
+// Package engine is the serving layer on top of the sparsifier library: a
+// bounded worker pool that runs sparsification jobs concurrently, an LRU
+// store of built artifacts (sparsifier + prepared pencil, i.e. the
+// sparsifier's Cholesky factorization), and batch fan-out helpers.
+//
+// The economics mirror effective-resistance sparsification serving: the
+// sparsifier is expensive to build and cheap to apply, so the engine
+// fingerprints each incoming graph, builds its artifact at most once
+// (concurrent requests for the same graph coalesce onto one build), and
+// answers subsequent Solve/Fiedler/CondNumber requests by pure
+// factorization reuse. cmd/trsparsed exposes this over HTTP.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/solver"
+	"repro/internal/sparsify"
+)
+
+// DefaultCacheSize is the artifact-store capacity when Options.CacheSize
+// is unset.
+const DefaultCacheSize = 64
+
+// ErrInternal marks failures that are engine faults (recovered panics)
+// rather than problems with the caller's input; servers should map it to
+// a 5xx status instead of blaming the request.
+var ErrInternal = errors.New("internal engine error")
+
+// Options configures an Engine. The zero value selects sensible defaults.
+type Options struct {
+	// Workers bounds the number of jobs (builds, solves, evaluations)
+	// executing at once; default GOMAXPROCS.
+	Workers int
+	// CacheSize bounds resident artifacts (default DefaultCacheSize).
+	CacheSize int
+	// JobTimeout bounds one request's total wait — queueing plus work —
+	// per job (0 disables). A timed-out build keeps running in the
+	// background and still fills the cache; only the waiting request
+	// gives up.
+	JobTimeout time.Duration
+	// Sparsify configures how artifacts are built (zero value = the
+	// paper's parameters).
+	Sparsify sparsify.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = DefaultCacheSize
+	}
+	return o
+}
+
+// Engine runs sparsification and solve jobs on a bounded pool and caches
+// built artifacts. Safe for concurrent use.
+type Engine struct {
+	opts  Options
+	sem   chan struct{}
+	store *Store
+	c     counters
+
+	mu       sync.Mutex
+	building map[string]*buildCall
+}
+
+// buildCall coalesces concurrent builds of the same fingerprint
+// (singleflight): the first request starts the build, later ones wait on
+// done.
+type buildCall struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	o := opts.withDefaults()
+	return &Engine{
+		opts:     o,
+		sem:      make(chan struct{}, o.Workers),
+		store:    NewStore(o.CacheSize),
+		building: make(map[string]*buildCall),
+	}
+}
+
+// Options returns the engine's resolved configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Stats returns a snapshot of cache and job telemetry.
+func (e *Engine) Stats() Stats {
+	s := e.c.snapshot()
+	s.Evictions = e.store.Evictions()
+	s.CacheLen = e.store.Len()
+	s.CacheCap = e.store.Capacity()
+	return s
+}
+
+// Lookup returns the cached artifact for a fingerprint key (as returned in
+// Artifact.Key), without building anything. Like Sparsify, it counts toward
+// the hit/miss stats — the key-based solve path is still a cache consult.
+func (e *Engine) Lookup(key string) (*Artifact, bool) {
+	art, ok := e.store.Get(key)
+	if ok {
+		e.c.hits.Add(1)
+	} else {
+		e.c.misses.Add(1)
+	}
+	return art, ok
+}
+
+// Sparsify returns the artifact for g, building it on the pool if absent.
+// The boolean reports whether the artifact came straight from the cache.
+func (e *Engine) Sparsify(ctx context.Context, g *graph.Graph) (*Artifact, bool, error) {
+	fp := FingerprintGraph(g)
+	key := fp.Key()
+	if art, ok := e.store.Get(key); ok {
+		e.c.hits.Add(1)
+		return art, true, nil
+	}
+
+	// A caller that is already gone must not launch a detached build:
+	// repeated disconnect-and-resend of unique graphs would otherwise burn
+	// CPU and churn the LRU for waiters that returned immediately. (Once a
+	// build has started, mid-build cancellation deliberately lets it finish
+	// and fill the cache — that work is already paid for.)
+	if err := ctx.Err(); err != nil {
+		e.noteCtx(ctx)
+		return nil, false, err
+	}
+
+	e.mu.Lock()
+	c, ok := e.building[key]
+	if !ok {
+		// Re-check the store under the lock: a concurrent build of this
+		// graph may have added its artifact and cleared its building entry
+		// between our Get miss above and acquiring e.mu, in which case
+		// starting a second build would redo already-cached work. Only a
+		// request that actually waits on a build counts as a miss — one
+		// served here got the artifact without building and is a hit.
+		if art, hit := e.store.Get(key); hit {
+			e.mu.Unlock()
+			e.c.hits.Add(1)
+			return art, true, nil
+		}
+		c = &buildCall{done: make(chan struct{})}
+		e.building[key] = c
+		go e.build(g, fp, c)
+	}
+	e.mu.Unlock()
+	e.c.misses.Add(1)
+
+	ctx, cancel := e.jobCtx(ctx)
+	defer cancel()
+	select {
+	case <-c.done:
+		return c.art, false, c.err
+	case <-ctx.Done():
+		e.noteCtx(ctx)
+		return nil, false, ctx.Err()
+	}
+}
+
+// build runs one artifact construction on the pool. It is detached from
+// any single request's context: once started, the build completes and
+// fills the cache even if every waiter timed out — the work is already
+// paid for and the next request for this graph becomes a hit.
+func (e *Engine) build(g *graph.Graph, fp Fingerprint, c *buildCall) {
+	enqueued := time.Now()
+	e.sem <- struct{}{}
+	e.c.jobs.Add(1)
+	e.c.inFlight.Add(1)
+	start := time.Now()
+	defer func() {
+		e.c.latency.observe(time.Since(enqueued))
+		e.c.inFlight.Add(-1)
+		<-e.sem
+		e.mu.Lock()
+		delete(e.building, fp.Key())
+		e.mu.Unlock()
+		close(c.done)
+	}()
+
+	// The build runs in a plain goroutine with no http.Server recovery
+	// above it, so a panic on a degenerate input would kill the whole
+	// process; surface it to waiters as a job error instead.
+	defer func() {
+		if p := recover(); p != nil {
+			e.c.jobErrors.Add(1)
+			c.err = fmt.Errorf("engine: building %s panicked: %v (%w)", fp.Key(), p, ErrInternal)
+		}
+	}()
+
+	res, err := sparsify.Sparsify(g, e.opts.Sparsify)
+	if err != nil {
+		e.c.jobErrors.Add(1)
+		c.err = fmt.Errorf("engine: sparsifying %s: %w", fp.Key(), err)
+		return
+	}
+	pen, err := core.NewPencil(g, res.Sparsifier, res.Shift)
+	if err != nil {
+		e.c.jobErrors.Add(1)
+		c.err = fmt.Errorf("engine: preparing pencil for %s: %w", fp.Key(), err)
+		return
+	}
+	e.c.builds.Add(1)
+	c.art = &Artifact{
+		Fingerprint: fp,
+		Key:         fp.Key(),
+		Sparsifier:  res.Sparsifier,
+		Pencil:      pen,
+		BuiltAt:     start,
+		BuildTime:   time.Since(start),
+	}
+	e.store.Add(c.art)
+}
+
+// SolveResult is the outcome of one preconditioned solve.
+type SolveResult struct {
+	X          []float64
+	Iterations int
+	RelRes     float64
+	Converged  bool
+	// CacheHit reports whether the artifact was served from the store
+	// (no sparsification, no refactorization).
+	CacheHit bool
+	Artifact *Artifact
+}
+
+// Solve solves L_G x = b with PCG preconditioned by g's cached sparsifier
+// factorization, building the artifact first if needed. tol ≤ 0 selects
+// 1e-6.
+func (e *Engine) Solve(ctx context.Context, g *graph.Graph, b []float64, tol float64) (*SolveResult, error) {
+	// Reject a mis-sized rhs before paying for sparsification and
+	// factorization; SolveArtifact re-checks for the by-key path.
+	if len(b) != g.N {
+		return nil, fmt.Errorf("engine: rhs has length %d, graph has %d vertices", len(b), g.N)
+	}
+	art, hit, err := e.Sparsify(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.SolveArtifact(ctx, art, b, tol)
+	if err != nil {
+		return nil, err
+	}
+	r.CacheHit = hit
+	return r, nil
+}
+
+// SolveArtifact solves against an already-obtained artifact (e.g. looked
+// up by key), reusing its factorization.
+func (e *Engine) SolveArtifact(ctx context.Context, art *Artifact, b []float64, tol float64) (*SolveResult, error) {
+	if len(b) != art.Pencil.N {
+		return nil, fmt.Errorf("engine: rhs has length %d, graph has %d vertices", len(b), art.Pencil.N)
+	}
+	return runJob(e, ctx, func() (*SolveResult, error) {
+		x := make([]float64, len(b))
+		r := art.Pencil.Solve(b, x, solver.Options{Tol: tol})
+		return &SolveResult{
+			X:          x,
+			Iterations: r.Iterations,
+			RelRes:     r.RelRes,
+			Converged:  r.Converged,
+			Artifact:   art,
+		}, nil
+	})
+}
+
+// CondNumber estimates κ(L_G, L_P) through g's cached artifact.
+func (e *Engine) CondNumber(ctx context.Context, g *graph.Graph, seed int64) (float64, error) {
+	art, _, err := e.Sparsify(ctx, g)
+	if err != nil {
+		return 0, err
+	}
+	return runJob(e, ctx, func() (float64, error) {
+		return art.Pencil.CondNumber(0, seed), nil
+	})
+}
+
+// Fiedler approximates g's Fiedler vector through its cached artifact.
+func (e *Engine) Fiedler(ctx context.Context, g *graph.Graph, steps int, tol float64, seed int64) ([]float64, error) {
+	art, _, err := e.Sparsify(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return runJob(e, ctx, func() ([]float64, error) {
+		return art.Pencil.Fiedler(steps, tol, seed), nil
+	})
+}
+
+// Evaluate runs the full Table-1 measurement pipeline for g on the pool.
+// It deliberately bypasses the cache: Evaluate times sparsifier
+// construction, so serving it a prebuilt artifact would be lying.
+func (e *Engine) Evaluate(ctx context.Context, g *graph.Graph, eopts core.EvalOptions) (*core.Outcome, error) {
+	return runJob(e, ctx, func() (*core.Outcome, error) {
+		return core.Evaluate(g, e.opts.Sparsify, eopts)
+	})
+}
+
+// SparsifyItem is one graph's result from SparsifyAll.
+type SparsifyItem struct {
+	Index    int
+	Artifact *Artifact
+	CacheHit bool
+	Err      error
+}
+
+// SparsifyAll fans gs across the pool and returns per-item results in
+// input order. Individual failures land in their item's Err; the batch
+// itself always completes.
+func (e *Engine) SparsifyAll(ctx context.Context, gs []*graph.Graph) []SparsifyItem {
+	out := make([]SparsifyItem, len(gs))
+	var wg sync.WaitGroup
+	for i, g := range gs {
+		wg.Add(1)
+		go func(i int, g *graph.Graph) {
+			defer wg.Done()
+			art, hit, err := e.Sparsify(ctx, g)
+			out[i] = SparsifyItem{Index: i, Artifact: art, CacheHit: hit, Err: err}
+		}(i, g)
+	}
+	wg.Wait()
+	return out
+}
+
+// EvalItem is one graph's result from EvaluateAll.
+type EvalItem struct {
+	Index   int
+	Outcome *core.Outcome
+	Err     error
+}
+
+// EvaluateAll runs the evaluation pipeline for every graph on the pool and
+// returns per-item results in input order.
+func (e *Engine) EvaluateAll(ctx context.Context, gs []*graph.Graph, eopts core.EvalOptions) []EvalItem {
+	out := make([]EvalItem, len(gs))
+	var wg sync.WaitGroup
+	for i, g := range gs {
+		wg.Add(1)
+		go func(i int, g *graph.Graph) {
+			defer wg.Done()
+			o, err := e.Evaluate(ctx, g, eopts)
+			out[i] = EvalItem{Index: i, Outcome: o, Err: err}
+		}(i, g)
+	}
+	wg.Wait()
+	return out
+}
+
+// jobCtx derives the context one request waits under: caller context plus
+// the per-job timeout.
+func (e *Engine) jobCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.opts.JobTimeout > 0 {
+		return context.WithTimeout(ctx, e.opts.JobTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// noteCtx records why a wait ended early.
+func (e *Engine) noteCtx(ctx context.Context) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		e.c.timeouts.Add(1)
+	}
+}
+
+// runJob executes do on the bounded pool: it waits for a worker slot
+// (honoring cancellation and the per-job timeout), runs, and returns the
+// result. If the caller's wait ends while the job is running, the call
+// returns the context error but the job finishes in the background still
+// holding its slot, so the pool stays bounded.
+func runJob[T any](e *Engine, ctx context.Context, do func() (T, error)) (T, error) {
+	var zero T
+	ctx, cancel := e.jobCtx(ctx)
+	defer cancel()
+	start := time.Now()
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.noteCtx(ctx)
+		return zero, ctx.Err()
+	}
+	e.c.jobs.Add(1)
+	e.c.inFlight.Add(1)
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		// Errors (and recovered panics) are counted here rather than at
+		// the receive site so jobs whose waiter already timed out still
+		// show up in the stats.
+		defer func() {
+			if p := recover(); p != nil {
+				e.c.jobErrors.Add(1)
+				ch <- result{zero, fmt.Errorf("engine: job panicked: %v (%w)", p, ErrInternal)}
+			}
+			e.c.latency.observe(time.Since(start))
+			e.c.inFlight.Add(-1)
+			<-e.sem
+		}()
+		v, err := do()
+		if err != nil {
+			e.c.jobErrors.Add(1)
+		}
+		ch <- result{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		e.noteCtx(ctx)
+		return zero, ctx.Err()
+	}
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
+// job-latency histogram; the final implicit bucket is +Inf.
+var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram with atomic counters, safe
+// for concurrent observation without locks.
+type histogram struct {
+	counts [len(latencyBucketsMS) + 1]atomic.Int64
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// LatencyBucket is one histogram bucket in a stats snapshot.
+type LatencyBucket struct {
+	// LE is the bucket's inclusive upper bound in milliseconds;
+	// +Inf is rendered as -1 for JSON friendliness.
+	LE    float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	// Cache behaviour.
+	Hits      int64 `json:"cache_hits"`
+	Misses    int64 `json:"cache_misses"`
+	Builds    int64 `json:"builds"`
+	Evictions int64 `json:"evictions"`
+	CacheLen  int   `json:"cache_len"`
+	CacheCap  int   `json:"cache_cap"`
+	// Job behaviour.
+	Jobs      int64 `json:"jobs_total"`
+	InFlight  int64 `json:"jobs_in_flight"`
+	Timeouts  int64 `json:"job_timeouts"`
+	JobErrors int64 `json:"job_errors"`
+	// Latency of completed jobs (queue wait + work).
+	MeanLatencyMS float64         `json:"mean_latency_ms"`
+	Latency       []LatencyBucket `json:"latency_histogram"`
+}
+
+// HitRate returns the cache hit fraction (0 when no lookups happened).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// counters aggregates the engine's mutable telemetry.
+type counters struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	builds    atomic.Int64
+	jobs      atomic.Int64
+	inFlight  atomic.Int64
+	timeouts  atomic.Int64
+	jobErrors atomic.Int64
+	latency   histogram
+}
+
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Builds:    c.builds.Load(),
+		Jobs:      c.jobs.Load(),
+		InFlight:  c.inFlight.Load(),
+		Timeouts:  c.timeouts.Load(),
+		JobErrors: c.jobErrors.Load(),
+	}
+	for i := range c.latency.counts {
+		le := -1.0 // +Inf bucket
+		if i < len(latencyBucketsMS) {
+			le = latencyBucketsMS[i]
+		}
+		s.Latency = append(s.Latency, LatencyBucket{LE: le, Count: c.latency.counts[i].Load()})
+	}
+	if n := c.latency.n.Load(); n > 0 {
+		s.MeanLatencyMS = float64(c.latency.sumNS.Load()) / float64(n) / float64(time.Millisecond)
+	}
+	return s
+}

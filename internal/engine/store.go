@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Artifact is everything the engine caches for one graph: the sparsifier
+// subgraph and the prepared pencil (shift, L_G, L_P, and the sparsifier's
+// Cholesky factorization). Holding the pencil is the point of the cache —
+// a hit makes Solve/Fiedler/CondNumber requests pure factorization reuse,
+// with no sparsification and no refactorization. The rest of the
+// construction result (spanning tree, per-edge membership flags) is
+// deliberately not retained: it is O(n + m) of auxiliary state nothing on
+// the serving path reads, and the store's capacity should bound
+// factorizations, not dead scaffolding.
+//
+// Artifacts are immutable after construction and safe to share across
+// goroutines.
+type Artifact struct {
+	Fingerprint Fingerprint
+	Key         string
+	Sparsifier  *graph.Graph
+	Pencil      *core.Pencil
+	BuiltAt     time.Time
+	BuildTime   time.Duration
+}
+
+// Store is a mutex-guarded LRU cache of Artifacts keyed by graph
+// fingerprint. Capacity bounds resident factorizations (the dominant
+// memory cost); least-recently-used artifacts are evicted on insert.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *Artifact
+	items    map[string]*list.Element
+	evicted  int64
+}
+
+// NewStore creates a store holding at most capacity artifacts
+// (capacity ≤ 0 selects DefaultCacheSize).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Store{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the artifact for key, marking it most recently used.
+func (s *Store) Get(key string) (*Artifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*Artifact), true
+}
+
+// Add inserts (or refreshes) an artifact, evicting from the LRU tail when
+// over capacity.
+func (s *Store) Add(a *Artifact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[a.Key]; ok {
+		el.Value = a
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[a.Key] = s.ll.PushFront(a)
+	for s.ll.Len() > s.capacity {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.items, tail.Value.(*Artifact).Key)
+		s.evicted++
+	}
+}
+
+// Remove drops the artifact for key if present.
+func (s *Store) Remove(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.Remove(el)
+		delete(s.items, key)
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Capacity returns the configured maximum.
+func (s *Store) Capacity() int { return s.capacity }
+
+// Evictions returns the number of artifacts dropped by LRU pressure.
+func (s *Store) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Keys returns the cached keys from most to least recently used.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Artifact).Key)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testArtifact(i int) *Artifact {
+	fp := Fingerprint{N: i, M: i, Hash: uint64(i)}
+	return &Artifact{Fingerprint: fp, Key: fp.Key()}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore(2)
+	a1, a2, a3 := testArtifact(1), testArtifact(2), testArtifact(3)
+	s.Add(a1)
+	s.Add(a2)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	s.Add(a3) // evicts a1 (least recently used)
+	if _, ok := s.Get(a1.Key); ok {
+		t.Fatal("a1 survived eviction")
+	}
+	if _, ok := s.Get(a2.Key); !ok {
+		t.Fatal("a2 was evicted")
+	}
+	if _, ok := s.Get(a3.Key); !ok {
+		t.Fatal("a3 missing")
+	}
+	if s.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions())
+	}
+}
+
+func TestStoreGetRefreshesRecency(t *testing.T) {
+	s := NewStore(2)
+	a1, a2, a3 := testArtifact(1), testArtifact(2), testArtifact(3)
+	s.Add(a1)
+	s.Add(a2)
+	s.Get(a1.Key) // a1 becomes most recent; a2 is now the LRU tail
+	s.Add(a3)
+	if _, ok := s.Get(a1.Key); !ok {
+		t.Fatal("recently-used a1 was evicted")
+	}
+	if _, ok := s.Get(a2.Key); ok {
+		t.Fatal("a2 survived eviction despite being LRU")
+	}
+}
+
+func TestStoreReAddMovesToFront(t *testing.T) {
+	s := NewStore(2)
+	a1, a2 := testArtifact(1), testArtifact(2)
+	s.Add(a1)
+	s.Add(a2)
+	s.Add(a1) // refresh, no growth
+	if s.Len() != 2 {
+		t.Fatalf("re-add grew the store to %d", s.Len())
+	}
+	if got := s.Keys(); got[0] != a1.Key {
+		t.Fatalf("front = %s, want %s", got[0], a1.Key)
+	}
+	s.Add(testArtifact(3)) // must evict a2, not a1
+	if _, ok := s.Get(a2.Key); ok {
+		t.Fatal("a2 survived eviction")
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	s := NewStore(4)
+	a := testArtifact(1)
+	s.Add(a)
+	s.Remove(a.Key)
+	if _, ok := s.Get(a.Key); ok {
+		t.Fatal("removed artifact still present")
+	}
+	s.Remove("missing") // no-op
+	if s.Len() != 0 {
+		t.Fatalf("len = %d, want 0", s.Len())
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewStore(8)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				a := testArtifact(w*1000 + i%16)
+				s.Add(a)
+				s.Get(a.Key)
+				if i%10 == 0 {
+					s.Keys()
+					s.Len()
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if s.Len() > 8 {
+		t.Fatalf("store over capacity: %d", s.Len())
+	}
+	_ = fmt.Sprintf("%d evictions", s.Evictions())
+}

@@ -14,7 +14,12 @@ import (
 //
 // This exists so the SuiteSparse matrices the paper evaluates on can be
 // dropped in directly when available; the bench harness otherwise uses the
-// synthetic generators in internal/gen.
+// synthetic generators in internal/gen. Because every caller loads
+// graph-shaped matrices (full diagonal or connected adjacency, so
+// nnz ≥ dim), headers declaring dimensions beyond nnz+1 are rejected as
+// malformed rather than parsed — this deliberately trades spec generality
+// (mostly-empty matrices) for not letting a tiny untrusted upload drive
+// O(dim) allocations; see cmd/trsparsed.
 func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
@@ -52,6 +57,22 @@ func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 		}
 		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
 			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %w", line, err)
+		}
+		if rows < 0 || cols < 0 || nnz < 0 {
+			return nil, fmt.Errorf("sparse: negative MatrixMarket dimensions %dx%d nnz=%d", rows, cols, nnz)
+		}
+		// Downstream conversion allocates O(rows+cols); every matrix this
+		// reader exists for (SDD with full diagonal, adjacency of a
+		// connected graph) has nnz ≥ dim, so a header declaring huge
+		// dimensions against a few entries is malformed — reject it before
+		// a tiny input can drive a giant allocation.
+		if rows > nnz+1 || cols > nnz+1 {
+			return nil, fmt.Errorf("sparse: MatrixMarket header declares %dx%d but only %d entries", rows, cols, nnz)
+		}
+		// The MM spec requires symmetric storage to be square; without
+		// this the mirrored Add of an in-range (i,j) can be out of range.
+		if (symmetric || skew) && rows != cols {
+			return nil, fmt.Errorf("sparse: %s MatrixMarket matrix must be square, got %dx%d", symmetry, rows, cols)
 		}
 		break
 	}
@@ -91,6 +112,9 @@ func ReadMatrixMarket(r io.Reader) (*CSC, error) {
 		}
 		i--
 		j--
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry (%d,%d) out of declared range %dx%d", i+1, j+1, rows, cols)
+		}
 		t.Add(i, j, v)
 		if i != j {
 			if symmetric {

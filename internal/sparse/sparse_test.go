@@ -298,7 +298,12 @@ func TestMatrixMarketErrors(t *testing.T) {
 		"not a header\n1 1 1\n",
 		"%%MatrixMarket matrix array real general\n1 1\n",
 		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 2\n",
-		"%%MatrixMarket matrix coordinate real general\n2 2 1\n", // missing entry
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n",                 // missing entry
+		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",         // negative dims
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",          // entry out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",          // 1-based index underflow
+		"%%MatrixMarket matrix coordinate real general\n9999 9999 1\n1 2 1\n",    // dims >> nnz
+		"%%MatrixMarket matrix coordinate real symmetric\n3 2 2\n3 1 1\n1 1 1\n", // symmetric must be square
 	}
 	for i, in := range cases {
 		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {

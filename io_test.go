@@ -1,0 +1,147 @@
+package trsparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// cscFromDense builds a CSC matrix from row-major dense values.
+func cscFromDense(t *testing.T, rows, cols int, v []float64) *sparse.CSC {
+	t.Helper()
+	tr := sparse.NewTriplet(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if x := v[i*cols+j]; x != 0 {
+				tr.Add(i, j, x)
+			}
+		}
+	}
+	return tr.ToCSC()
+}
+
+func edgeWeight(g *Graph, u, v int) (float64, bool) {
+	for _, e := range g.Edges {
+		if (e.U == u && e.V == v) || (e.U == v && e.V == u) {
+			return e.W, true
+		}
+	}
+	return 0, false
+}
+
+// TestGraphFromMatrixLaplacianWeights covers the SDD sign convention edge
+// by edge: strictly negative off-diagonals a_ij become edges of weight
+// −a_ij; the diagonal is ignored.
+func TestGraphFromMatrixLaplacianWeights(t *testing.T) {
+	// Path graph 0—1—2 with weights 2 and 3, as L = D − A.
+	a := cscFromDense(t, 3, 3, []float64{
+		2, -2, 0,
+		-2, 5, -3,
+		0, -3, 3,
+	})
+	g, err := GraphFromMatrix(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want n=3 m=2", g.N, g.M())
+	}
+	if w, ok := edgeWeight(g, 0, 1); !ok || w != 2 {
+		t.Fatalf("edge (0,1) weight = %g, %v; want 2", w, ok)
+	}
+	if w, ok := edgeWeight(g, 1, 2); !ok || w != 3 {
+		t.Fatalf("edge (1,2) weight = %g, %v; want 3", w, ok)
+	}
+}
+
+// TestGraphFromMatrixAdjacencyWeights covers the adjacency convention edge
+// by edge: positive off-diagonals become edge weights directly.
+func TestGraphFromMatrixAdjacencyWeights(t *testing.T) {
+	a := cscFromDense(t, 3, 3, []float64{
+		0, 1.5, 0,
+		1.5, 0, 2.5,
+		0, 2.5, 0,
+	})
+	g, err := GraphFromMatrix(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m = %d, want 2", g.M())
+	}
+	if w, _ := edgeWeight(g, 0, 1); w != 1.5 {
+		t.Fatalf("edge (0,1) weight = %g, want 1.5", w)
+	}
+	if w, _ := edgeWeight(g, 1, 2); w != 2.5 {
+		t.Fatalf("edge (1,2) weight = %g, want 2.5", w)
+	}
+}
+
+// TestGraphFromMatrixMixedSigns: off-diagonals of both signs make the
+// intended convention ambiguous and must be rejected.
+func TestGraphFromMatrixMixedSigns(t *testing.T) {
+	a := cscFromDense(t, 3, 3, []float64{
+		1, -1, 0,
+		-1, 2, 2,
+		0, 2, 1,
+	})
+	if _, err := GraphFromMatrix(a); err == nil {
+		t.Fatal("mixed-sign off-diagonals accepted")
+	} else if !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("uninformative error: %v", err)
+	}
+}
+
+// TestGraphFromMatrixNonSquare: only square matrices describe graphs.
+func TestGraphFromMatrixNonSquare(t *testing.T) {
+	a := cscFromDense(t, 2, 3, []float64{
+		0, 1, 2,
+		1, 0, 0,
+	})
+	if _, err := GraphFromMatrix(a); err == nil {
+		t.Fatal("non-square matrix accepted")
+	} else if !strings.Contains(err.Error(), "square") {
+		t.Fatalf("uninformative error: %v", err)
+	}
+}
+
+// TestGraphFromMatrixDiagonalOnly: a matrix with no admissible
+// off-diagonals yields an edgeless graph (graph.New accepts it; downstream
+// connectivity checks reject it where it matters).
+func TestGraphFromMatrixDiagonalOnly(t *testing.T) {
+	a := cscFromDense(t, 2, 2, []float64{
+		4, 0,
+		0, 4,
+	})
+	g, err := GraphFromMatrix(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2 || g.M() != 0 {
+		t.Fatalf("got n=%d m=%d, want n=2 m=0", g.N, g.M())
+	}
+}
+
+// TestReadMatrixMarketGraphRoundTrip exercises the full Matrix Market
+// bridge on a symmetric SDD input.
+func TestReadMatrixMarketGraphRoundTrip(t *testing.T) {
+	mm := `%%MatrixMarket matrix coordinate real symmetric
+3 3 5
+1 1 2.0
+2 1 -2.0
+2 2 5.0
+3 2 -3.0
+3 3 3.0
+`
+	g, err := ReadMatrixMarketGraph(strings.NewReader(mm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want n=3 m=2", g.N, g.M())
+	}
+	if w, _ := edgeWeight(g, 1, 2); w != 3 {
+		t.Fatalf("edge (1,2) weight = %g, want 3", w)
+	}
+}

@@ -19,17 +19,20 @@
 // Tr(L_S⁻¹ L_G), with spectrally similar edges excluded per round. Use
 // Options.Method to select the GRASS or feGRASS baselines instead.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured comparison of every table and figure.
+// For serving workloads, NewEngine wraps the library in a concurrent
+// batch engine with an LRU cache of built sparsifiers keyed by graph
+// fingerprint, so repeated solves against one graph reuse its Cholesky
+// factorization; cmd/trsparsed exposes the engine over HTTP.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for how the
+// benchmark suite regenerates every table and figure of the paper.
 package trsparse
 
 import (
-	"repro/internal/chol"
 	"repro/internal/core"
-	"repro/internal/eig"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/lap"
 	"repro/internal/solver"
 	"repro/internal/sparsify"
 )
@@ -83,34 +86,42 @@ func Evaluate(g *Graph, opts Options, eopts EvalOptions) (*Outcome, error) {
 	return core.Evaluate(g, opts, eopts)
 }
 
+// Pencil is a prepared regularized Laplacian pencil (L_G, L_P): shared
+// shift, assembled Laplacians, and the sparsifier's Cholesky factorization.
+// Build one with NewPencil when issuing repeated measurements against the
+// same (graph, sparsifier) pair; CondNumber/SolvePCG/TraceProxy/Fiedler
+// each prepare a fresh one per call.
+type Pencil = core.Pencil
+
+// NewPencil prepares the pencil for g preconditioned by sparsifier. Pass
+// Result.Shift as shift when the sparsifier came from Sparsify (nil selects
+// the default regularization).
+func NewPencil(g, sparsifier *Graph, shift []float64) (*Pencil, error) {
+	return core.NewPencil(g, sparsifier, shift)
+}
+
 // CondNumber estimates the relative condition number κ(L_G, L_P) of a
 // graph and a subgraph sparsifier, using the shared diagonal
 // regularization the paper describes (λmin of the pencil is 1, so κ equals
 // the largest generalized eigenvalue).
 func CondNumber(g, sparsifier *Graph, seed int64) (float64, error) {
-	shift := lap.Shift(g, 0)
-	lg := lap.Laplacian(g, shift)
-	lp := lap.Laplacian(sparsifier, shift)
-	f, err := chol.New(lp, chol.Options{})
+	p, err := core.NewPencil(g, sparsifier, nil)
 	if err != nil {
 		return 0, err
 	}
-	return eig.CondNumber(lg, f, eig.GenMaxOptions{Seed: seed}), nil
+	return p.CondNumber(0, seed), nil
 }
 
 // SolvePCG solves L_G x = b with PCG preconditioned by the sparsifier's
 // Cholesky factorization, returning the solution and the iteration count.
 // tol is the relative residual tolerance (≤0 selects 1e-6).
 func SolvePCG(g, sparsifier *Graph, b []float64, tol float64) ([]float64, int, error) {
-	shift := lap.Shift(g, 0)
-	lg := lap.Laplacian(g, shift)
-	lp := lap.Laplacian(sparsifier, shift)
-	f, err := chol.New(lp, chol.Options{})
+	p, err := core.NewPencil(g, sparsifier, nil)
 	if err != nil {
 		return nil, 0, err
 	}
 	x := make([]float64, g.N)
-	r := solver.PCG(lg, b, x, solver.NewCholPrecond(f), solver.Options{Tol: tol})
+	r := p.Solve(b, x, solver.Options{Tol: tol})
 	return x, r.Iterations, nil
 }
 
@@ -119,14 +130,11 @@ func SolvePCG(g, sparsifier *Graph, b []float64, tol float64) ([]float64, int, e
 // with a Hutchinson stochastic estimator (≈30 probes give a few percent
 // accuracy; pass probes ≤ 0 for the default).
 func TraceProxy(g, sparsifier *Graph, probes int, seed int64) (float64, error) {
-	shift := lap.Shift(g, 0)
-	lg := lap.Laplacian(g, shift)
-	lp := lap.Laplacian(sparsifier, shift)
-	f, err := chol.New(lp, chol.Options{})
+	p, err := core.NewPencil(g, sparsifier, nil)
 	if err != nil {
 		return 0, err
 	}
-	return eig.TraceEst(lg, f, probes, seed), nil
+	return p.TraceEst(probes, seed), nil
 }
 
 // Fiedler approximates the Fiedler vector of g (the eigenvector of the
@@ -134,30 +142,33 @@ func TraceProxy(g, sparsifier *Graph, probes int, seed int64) (float64, error) {
 // iteration, solving each inner system with PCG preconditioned by the
 // sparsifier. It is the building block of spectral partitioning (§4.3).
 func Fiedler(g, sparsifier *Graph, steps int, tol float64, seed int64) ([]float64, error) {
-	shift := lap.Shift(g, 0)
-	lg := lap.Laplacian(g, shift)
-	lp := lap.Laplacian(sparsifier, shift)
-	f, err := chol.New(lp, chol.Options{})
+	p, err := core.NewPencil(g, sparsifier, nil)
 	if err != nil {
 		return nil, err
 	}
-	pre := solver.NewCholPrecond(f)
-	// Warm start each solve from the previous one's scale: the normalized
-	// RHS converges to the Fiedler direction, so x ≈ (1/λ₂)·b.
-	prevScale := 0.0
-	fv := eig.Fiedler(g.N, steps, seed, func(dst, b []float64) {
-		for i := range dst {
-			dst[i] = b[i] * prevScale
-		}
-		solver.PCG(lg, b, dst, pre, solver.Options{Tol: tol})
-		var s float64
-		for i := range dst {
-			s += dst[i] * b[i]
-		}
-		prevScale = s
-	})
-	return fv, nil
+	return p.Fiedler(steps, tol, seed), nil
 }
+
+// Engine is the concurrent serving layer: a bounded worker pool plus an
+// LRU store of built sparsifier artifacts keyed by graph fingerprint, so
+// repeated Solve/Fiedler/CondNumber requests against the same graph reuse
+// the cached Cholesky factorization instead of rebuilding anything.
+// cmd/trsparsed serves an Engine over HTTP.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine (workers, cache size, per-job
+// timeout, sparsification parameters); the zero value selects defaults.
+type EngineOptions = engine.Options
+
+// EngineStats is a snapshot of engine cache and job telemetry.
+type EngineStats = engine.Stats
+
+// EngineArtifact is one cached build: the sparsifier subgraph plus the
+// prepared pencil (shift, L_G, L_P, factorization).
+type EngineArtifact = engine.Artifact
+
+// NewEngine creates a concurrent sparsification engine.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 
 // Grid2D generates an nx×ny 5-point grid with jittered weights — the
 // stand-in for grid-like SuiteSparse cases such as ecology2.

@@ -3,10 +3,7 @@ package trsparse
 import (
 	"math"
 	"math/rand"
-	"strings"
 	"testing"
-
-	"repro/internal/sparse"
 )
 
 func TestFacadeSparsifyAndCondNumber(t *testing.T) {
@@ -104,76 +101,6 @@ func TestFacadeSolvePCG(t *testing.T) {
 	}
 	if math.IsNaN(sum) {
 		t.Fatal("solution contains NaN")
-	}
-}
-
-func TestGraphFromMatrixLaplacian(t *testing.T) {
-	// Laplacian of triangle with weights 1, 2, 3.
-	tr := sparse.NewTriplet(3, 3)
-	tr.Add(0, 0, 4)
-	tr.Add(1, 1, 3)
-	tr.Add(2, 2, 5)
-	tr.Add(0, 1, -1)
-	tr.Add(1, 0, -1)
-	tr.Add(1, 2, -2)
-	tr.Add(2, 1, -2)
-	tr.Add(0, 2, -3)
-	tr.Add(2, 0, -3)
-	g, err := GraphFromMatrix(tr.ToCSC())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g.N != 3 || g.M() != 3 {
-		t.Fatalf("graph %d vertices %d edges", g.N, g.M())
-	}
-	var total float64
-	for _, e := range g.Edges {
-		total += e.W
-	}
-	if total != 6 {
-		t.Errorf("total weight %g, want 6", total)
-	}
-}
-
-func TestGraphFromMatrixAdjacency(t *testing.T) {
-	tr := sparse.NewTriplet(3, 3)
-	tr.Add(0, 1, 2.5)
-	tr.Add(1, 0, 2.5)
-	tr.Add(1, 2, 1.5)
-	tr.Add(2, 1, 1.5)
-	g, err := GraphFromMatrix(tr.ToCSC())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g.M() != 2 {
-		t.Fatalf("edges = %d, want 2", g.M())
-	}
-}
-
-func TestGraphFromMatrixMixedSignsRejected(t *testing.T) {
-	tr := sparse.NewTriplet(2, 2)
-	tr.Add(0, 1, 1)
-	tr.Add(1, 0, -1)
-	if _, err := GraphFromMatrix(tr.ToCSC()); err == nil {
-		t.Fatal("mixed-sign matrix accepted")
-	}
-}
-
-func TestReadMatrixMarketGraph(t *testing.T) {
-	mm := `%%MatrixMarket matrix coordinate real symmetric
-3 3 5
-1 1 3
-2 2 2
-3 3 1
-2 1 -2
-3 1 -1
-`
-	g, err := ReadMatrixMarketGraph(strings.NewReader(mm))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g.N != 3 || g.M() != 2 {
-		t.Fatalf("graph %d/%d", g.N, g.M())
 	}
 }
 
