@@ -215,6 +215,56 @@ func BenchmarkEngineBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkSparsifierSolve quantifies what the v2 handle API buys on
+// repeated solves against one graph: "handle-reuse" builds the Sparsifier
+// once and runs PCG through its cached factorization per iteration, while
+// "percall-rebuild" goes through the deprecated SolvePCG free function,
+// which reassembles the pencil and refactorizes the sparsifier on every
+// call. Same graph (300×300 grid), same prebuilt sparsifier subgraph, same
+// tolerance (the paper's Table-1 rtol of 1e-3) — the gap is pure
+// construction amortization and must be ≥10×.
+func BenchmarkSparsifierSolve(b *testing.B) {
+	ctx := context.Background()
+	g := Grid2D(300, 300, 1)
+	s, err := New(ctx, g, WithSeed(1), WithTolerance(1e-3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := s.SparsifierGraph()
+	rng := rand.New(rand.NewSource(11))
+	rhs := make([]float64, g.N)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+
+	b.Run("handle-reuse", func(b *testing.B) {
+		iters := 0
+		for i := 0; i < b.N; i++ {
+			sol, err := s.Solve(ctx, rhs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sol.Converged {
+				b.Fatal("solve did not converge")
+			}
+			iters = sol.Iterations
+		}
+		b.ReportMetric(float64(iters), "pcg-iters")
+	})
+
+	b.Run("percall-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, iters, err := SolvePCG(g, sub, rhs, 1e-3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if iters <= 0 {
+				b.Fatal("no PCG iterations")
+			}
+		}
+	})
+}
+
 // BenchmarkAblationBeta quantifies the β truncation depth tradeoff of
 // eq. (12): deeper BFS costs more scoring time without improving (and
 // often slightly worsening) batch selection quality.

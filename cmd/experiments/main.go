@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 )
 
 import "repro/internal/bench"
@@ -30,23 +33,26 @@ func main() {
 	out := flag.String("out", ".", "directory for figure CSV outputs")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	runTable := func(n int) bool { return *table == 0 || *table == n }
 
 	if runTable(1) {
 		fmt.Println()
-		if _, err := bench.RunTable1(bench.Table1Options{Scale: *scale, Seed: *seed}, os.Stdout); err != nil {
+		if _, err := bench.RunTable1(bench.Table1Options{Ctx: ctx, Scale: *scale, Seed: *seed}, os.Stdout); err != nil {
 			log.Fatalf("table 1: %v", err)
 		}
 	}
 	if runTable(2) {
 		fmt.Println()
-		if _, err := bench.RunTable2(bench.Table2Options{Scale: *scale, Seed: *seed}, os.Stdout); err != nil {
+		if _, err := bench.RunTable2(bench.Table2Options{Ctx: ctx, Scale: *scale, Seed: *seed}, os.Stdout); err != nil {
 			log.Fatalf("table 2: %v", err)
 		}
 	}
 	if runTable(3) {
 		fmt.Println()
-		if _, err := bench.RunTable3(bench.Table3Options{Scale: *scale, Seed: *seed}, os.Stdout); err != nil {
+		if _, err := bench.RunTable3(bench.Table3Options{Ctx: ctx, Scale: *scale, Seed: *seed}, os.Stdout); err != nil {
 			log.Fatalf("table 3: %v", err)
 		}
 	}
@@ -56,7 +62,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		series, err := bench.RunFig1(bench.Fig1Options{Scale: *scale, Seed: *seed}, f1)
+		series, err := bench.RunFig1(bench.Fig1Options{Ctx: ctx, Scale: *scale, Seed: *seed}, f1)
 		f1.Close()
 		if err != nil {
 			log.Fatalf("fig 1: %v", err)
@@ -73,7 +79,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		pts, err := bench.RunFig2(bench.Fig2Options{Scale: *scale, Seed: *seed}, f2)
+		pts, err := bench.RunFig2(bench.Fig2Options{Ctx: ctx, Scale: *scale, Seed: *seed}, f2)
 		f2.Close()
 		if err != nil {
 			log.Fatalf("fig 2: %v", err)

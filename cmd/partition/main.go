@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/gen"
@@ -27,12 +30,15 @@ func main() {
 	steps := flag.Int("steps", 5, "inverse power iteration steps")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	c, err := gen.ByName(*caseName)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if _, err := bench.RunTable3(bench.Table3Options{
-		Scale: *scale, Cases: []gen.Case{c}, Seed: *seed, Steps: *steps,
+		Ctx: ctx, Scale: *scale, Cases: []gen.Case{c}, Seed: *seed, Steps: *steps,
 	}, os.Stdout); err != nil {
 		log.Fatal(err)
 	}

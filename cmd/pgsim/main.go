@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
 )
@@ -30,13 +33,16 @@ func main() {
 	sweep := flag.String("sweep", "", "write Fig-2 density-sweep CSV to this path")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *waveform != "" {
 		f, err := os.Create(*waveform)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		series, err := bench.RunFig1(bench.Fig1Options{Scale: *scale, Seed: *seed, Horizon: *horizon}, f)
+		series, err := bench.RunFig1(bench.Fig1Options{Ctx: ctx, Scale: *scale, Seed: *seed, Horizon: *horizon}, f)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +60,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		pts, err := bench.RunFig2(bench.Fig2Options{Scale: *scale, Seed: *seed, Horizon: *horizon}, f)
+		pts, err := bench.RunFig2(bench.Fig2Options{Ctx: ctx, Scale: *scale, Seed: *seed, Horizon: *horizon}, f)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,7 +78,7 @@ func main() {
 		log.Fatalf("unknown case %q; available: ibmpg3t ibmpg4t ibmpg5t ibmpg6t thupg1t thupg2t", *caseName)
 	}
 	if _, err := bench.RunTable2(bench.Table2Options{
-		Scale: *scale, Cases: cases, Seed: *seed, Horizon: *horizon,
+		Ctx: ctx, Scale: *scale, Cases: cases, Seed: *seed, Horizon: *horizon,
 	}, os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 // Command sparsify builds a graph spectral sparsifier for a named
 // benchmark case or a Matrix Market file and reports the Table-1 metrics:
 // construction time, relative condition number, and PCG iterations/time
-// with the sparsifier as preconditioner.
+// with the sparsifier as preconditioner. It drives the v2 handle API
+// (trsparse.New) and is interruptible: ^C cancels the build or the
+// measurement mid-flight.
 //
 // Usage:
 //
@@ -10,16 +12,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	trsparse "repro"
-	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/sparsify"
 )
 
 func main() {
@@ -46,6 +51,9 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var g *graph.Graph
 	if *mmPath != "" {
 		f, err := os.Open(*mmPath)
@@ -65,32 +73,61 @@ func main() {
 		g = c.Build(*scale, *seed)
 	}
 
-	var m sparsify.Method
+	var m trsparse.Method
 	switch *method {
 	case "trace":
-		m = sparsify.TraceReduction
+		m = trsparse.TraceReduction
 	case "grass":
-		m = sparsify.GRASS
+		m = trsparse.GRASS
 	case "fegrass":
-		m = sparsify.FeGRASS
+		m = trsparse.FeGRASS
 	default:
 		log.Fatalf("unknown method %q (want trace, grass, or fegrass)", *method)
 	}
 
-	out, err := core.Evaluate(g, sparsify.Options{
-		Method: m, Alpha: *alpha, Rounds: *rounds, Beta: *beta, Delta: *delta, Seed: *seed,
-	}, core.EvalOptions{PCGTol: *pcgTol, Seed: *seed})
+	s, err := trsparse.New(ctx, g,
+		trsparse.WithMethod(m),
+		trsparse.WithAlpha(*alpha),
+		trsparse.WithRecoveryRounds(*rounds),
+		trsparse.WithBeta(*beta),
+		trsparse.WithDelta(*delta),
+		trsparse.WithSeed(*seed),
+		trsparse.WithTolerance(*pcgTol),
+		trsparse.WithMaxIterations(2000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := s.Result()
+
+	kappa, err := s.CondNumber(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("graph        |V|=%d |E|=%d\n", out.N, out.M)
-	fmt.Printf("method       %v\n", out.Method)
+	// PCG on a random RHS (paper: random RHS, rtol 1e-3).
+	rng := rand.New(rand.NewSource(*seed + 31))
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	t0 := time.Now()
+	sol, err := s.Solve(ctx, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcgTime := time.Since(t0)
+	if !sol.Converged {
+		log.Printf("warning: PCG hit the %d-iteration cap without converging (relres %.3g); Ni below is a truncation artifact", 2000, sol.RelRes)
+	}
+
+	fmt.Printf("graph        |V|=%d |E|=%d\n", g.N, g.M())
+	fmt.Printf("method       %v\n", m)
 	fmt.Printf("sparsifier   %d edges (tree %d + recovered %d)\n",
-		out.SparsifierEdges, out.N-1, out.SparsifierEdges-(out.N-1))
+		s.SparsifierGraph().M(), g.N-1, s.SparsifierGraph().M()-(g.N-1))
 	fmt.Printf("Ts           %v  (tree %v, scoring %v, factorization %v)\n",
-		out.SparsifyTime, out.Result.Stats.TreeTime, out.Result.Stats.ScoreTime, out.Result.Stats.FactorTime)
-	fmt.Printf("kappa        %.4g\n", out.Kappa)
-	fmt.Printf("PCG          Ni=%d Ti=%v (rtol %.0e, random RHS)\n", out.PCGIters, out.PCGTime, *pcgTol)
-	fmt.Printf("precond      nnz(L)=%d (%.1f MB)\n", out.FactorNNZ, float64(out.MemBytes)/(1<<20))
+		res.Stats.Total, res.Stats.TreeTime, res.Stats.ScoreTime, res.Stats.FactorTime)
+	fmt.Printf("kappa        %.4g\n", kappa)
+	fmt.Printf("PCG          Ni=%d Ti=%v (rtol %.0e, random RHS)\n", sol.Iterations, pcgTime, *pcgTol)
+	fmt.Printf("precond      nnz(L)=%d (%.1f MB)\n", s.FactorNNZ(), float64(s.MemBytes())/(1<<20))
 }

@@ -2,7 +2,9 @@
 // sparsifier: size and degree statistics, spanning-tree stretch, the trace
 // proxy Tr(L_P⁻¹ L_G), the estimated condition number κ(L_G, L_P), and
 // how both fall as densification rounds add edges. Useful for inspecting
-// unfamiliar inputs before committing to a full experiment run.
+// unfamiliar inputs before committing to a full experiment run. Each
+// subgraph is measured through its own v2 handle (trsparse.New with
+// WithSparsifierGraph), and ^C cancels mid-measurement.
 //
 // Usage:
 //
@@ -11,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	trsparse "repro"
 	"repro/internal/gen"
@@ -32,6 +37,9 @@ func main() {
 	scale := flag.Float64("scale", 1, "case size multiplier")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var g *graph.Graph
 	if *mmPath != "" {
@@ -60,27 +68,34 @@ func main() {
 	fmt.Printf("graph:  |V|=%d |E|=%d  degree min/med/max = %d/%d/%d\n",
 		g.N, g.M(), degs[0], degs[g.N/2], degs[g.N-1])
 
-	res, err := trsparse.Sparsify(g, trsparse.Options{Seed: *seed})
+	s, err := trsparse.New(ctx, g, trsparse.WithSeed(*seed), trsparse.WithTraceProbes(50))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := s.Result()
 	fmt.Printf("MEWST:  total stretch %.4g over %d off-tree edges\n",
 		res.Tree.TotalStretch(), g.M()-(g.N-1))
 
-	report := func(label string, sub *graph.Graph) {
-		kappa, err := trsparse.CondNumber(g, sub, *seed)
+	report := func(label string, h *trsparse.Sparsifier) {
+		kappa, err := h.CondNumber(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		trace, err := trsparse.TraceProxy(g, sub, 50, *seed)
+		trace, err := h.TraceProxy(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-22s edges=%-8d κ≈%-10.4g Tr(L_P⁻¹L_G)≈%-12.5g (n=%d is the floor)\n",
-			label, sub.M(), kappa, trace, g.N)
+			label, h.SparsifierGraph().M(), kappa, trace, g.N)
 	}
-	report("spanning tree:", g.Subgraph(res.Tree.EdgeIdx))
-	report("sparsifier (α=10%):", res.Sparsifier)
+	tree, err := trsparse.New(ctx, g,
+		trsparse.WithSparsifierGraph(g.Subgraph(res.Tree.EdgeIdx)),
+		trsparse.WithSeed(*seed), trsparse.WithTraceProbes(50))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("spanning tree:", tree)
+	report("sparsifier (α=10%):", s)
 	fmt.Printf("sparsification: %v (tree %v, scoring %v, factorizations %v)\n",
 		res.Stats.Total, res.Stats.TreeTime, res.Stats.ScoreTime, res.Stats.FactorTime)
 	if len(res.Stats.SPAINnz) > 0 {

@@ -9,10 +9,12 @@ import (
 	"math"
 	"mime"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	trsparse "repro"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 )
@@ -31,14 +33,57 @@ func newServer(eng *engine.Engine) *server {
 	return &server{eng: eng, start: time.Now()}
 }
 
-// handler builds the route table.
+// handler builds the route table. /v2/* is the current surface: the same
+// engine, plus per-request deadlines (?timeout_ms=) and structured error
+// codes. /v1/* remains as a deprecation shim over the identical handlers —
+// same request and response shapes as before — with Deprecation/Link
+// headers pointing at the successor.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sparsify", s.handleSparsify)
-	mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v2/sparsify", s.handleSparsify)
+	mux.HandleFunc("POST /v2/solve", s.handleSolve)
+	mux.HandleFunc("POST /v2/partition", s.handlePartition)
+	mux.HandleFunc("GET /v2/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/sparsify", deprecated("/v2/sparsify", s.handleSparsify))
+	mux.HandleFunc("POST /v1/solve", deprecated("/v2/solve", s.handleSolve))
+	mux.HandleFunc("GET /v1/stats", deprecated("/v2/stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// deprecated wraps a v1 route: it serves exactly the v2 handler but
+// advertises the successor endpoint per RFC 8594-style headers so clients
+// can migrate before /v1 is removed.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// requestCtx derives the handler context: the client's disconnect context
+// plus an optional per-request deadline from ?timeout_ms= (v2). Invalid or
+// non-positive values are rejected by the caller via the returned error.
+func requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		return ctx, func() {}, nil
+	}
+	ms, err := strconv.ParseFloat(raw, 64)
+	if err != nil || ms <= 0 || math.IsNaN(ms) || math.IsInf(ms, 0) {
+		return nil, nil, fmt.Errorf("invalid timeout_ms %q (want a positive, finite number of milliseconds)", raw)
+	}
+	// Clamp absurd deadlines instead of letting the float→Duration
+	// conversion overflow int64 into an already-expired context; anything
+	// past a day is "no effective deadline" for this service.
+	const maxTimeoutMS = 24 * 60 * 60 * 1000
+	if ms > maxTimeoutMS {
+		ms = maxTimeoutMS
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(ms*float64(time.Millisecond)))
+	return ctx, cancel, nil
 }
 
 // graphPayload is an inline graph: vertex count plus [u, v, w] triples.
@@ -121,12 +166,18 @@ func (s *server) readGraph(w http.ResponseWriter, r *http.Request) (*graph.Graph
 }
 
 func (s *server) handleSparsify(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestCtx(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
 	g, err := s.readGraph(w, r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	art, cached, err := s.eng.Sparsify(r.Context(), g)
+	art, cached, err := s.eng.Sparsify(ctx, g)
 	if err != nil {
 		writeErr(w, statusOf(err), err)
 		return
@@ -135,7 +186,7 @@ func (s *server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 		Key:       art.Key,
 		N:         art.Fingerprint.N,
 		M:         art.Fingerprint.M,
-		EdgeCount: art.Sparsifier.M(),
+		EdgeCount: art.SparsifierGraph().M(),
 		Cached:    cached,
 		BuildMS:   float64(art.BuildTime) / float64(time.Millisecond),
 	}
@@ -143,7 +194,7 @@ func (s *server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 	// clients that only want the key for later /v1/solve calls, rendering
 	// millions of [u,v,w] triples per request is pure memory amplification.
 	if v := r.URL.Query().Get("edges"); v != "false" && v != "0" {
-		resp.SparsifierEdges = edgesPayload(art.Sparsifier)
+		resp.SparsifierEdges = edgesPayload(art.SparsifierGraph())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -167,6 +218,12 @@ type solveResponse struct {
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestCtx(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
 	var req solveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding JSON body: %w", err))
@@ -177,19 +234,16 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var (
-		res *engine.SolveResult
-		err error
-	)
+	var res *engine.SolveResult
 	switch {
 	case req.Key != "":
 		art, ok := s.eng.Lookup(req.Key)
 		if !ok {
 			writeErr(w, http.StatusNotFound,
-				fmt.Errorf("no cached artifact for key %q (evicted or never built); re-POST /v1/sparsify", req.Key))
+				fmt.Errorf("no cached artifact for key %q (evicted or never built); re-POST /v2/sparsify", req.Key))
 			return
 		}
-		res, err = s.eng.SolveArtifact(r.Context(), art, req.B, req.Tol)
+		res, err = s.eng.SolveArtifact(ctx, art, req.B, req.Tol)
 		if res != nil {
 			res.CacheHit = true
 		}
@@ -200,7 +254,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err = s.eng.Solve(r.Context(), g, req.B, req.Tol)
+		res, err = s.eng.Solve(ctx, g, req.B, req.Tol)
 	default:
 		writeErr(w, http.StatusBadRequest, errors.New("pass either key or graph"))
 		return
@@ -217,6 +271,64 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Converged:  res.Converged,
 		Cached:     res.CacheHit,
 	})
+}
+
+type partitionRequest struct {
+	// Key references an artifact from a previous /v2/sparsify response;
+	// alternatively pass the graph inline.
+	Key   string        `json:"key,omitempty"`
+	Graph *graphPayload `json:"graph,omitempty"`
+}
+
+type partitionResponse struct {
+	Key       string `json:"key"`
+	Partition []int  `json:"partition"`
+}
+
+// handlePartition serves the paper's §4.3 application — a balanced
+// spectral bipartition via the sparsifier-preconditioned Fiedler vector —
+// through the same cached artifacts the solve path uses.
+func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestCtx(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	var req partitionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding JSON body: %w", err))
+		return
+	}
+	var art *engine.Artifact
+	switch {
+	case req.Key != "":
+		var ok bool
+		if art, ok = s.eng.Lookup(req.Key); !ok {
+			writeErr(w, http.StatusNotFound,
+				fmt.Errorf("no cached artifact for key %q (evicted or never built); re-POST /v2/sparsify", req.Key))
+			return
+		}
+	case req.Graph != nil:
+		g, err := req.Graph.toGraph()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if art, _, err = s.eng.Sparsify(ctx, g); err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, errors.New("pass either key or graph"))
+		return
+	}
+	part, err := s.eng.PartitionArtifact(ctx, art)
+	if err != nil {
+		writeErr(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, partitionResponse{Key: art.Key, Partition: part})
 }
 
 type statsResponse struct {
@@ -240,18 +352,37 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// statusOf maps engine errors to HTTP statuses: cancellations and timeouts
-// surface as 503 (the service is saturated or the client gave up),
-// recovered panics as 500 (an engine fault, not the client's graph),
-// everything else as 422 (the graph itself was unusable).
+// classify maps an engine or library error to its (HTTP status,
+// machine-readable code) pair — the single source of the structured error
+// taxonomy: cancellations and timeouts surface as 503 (the service is
+// saturated, the per-request deadline passed, or the client gave up),
+// oversized graphs as 413, dimension mismatches as 400, recovered panics
+// as 500 (an engine fault, not the client's graph), everything else as
+// 422 (the graph itself was unusable).
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, core.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, core.ErrDisconnected):
+		return http.StatusUnprocessableEntity, "disconnected"
+	case errors.Is(err, core.ErrNotSPD):
+		return http.StatusUnprocessableEntity, "not_spd"
+	case errors.Is(err, core.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, core.ErrDimension):
+		return http.StatusBadRequest, "dimension"
+	case errors.Is(err, engine.ErrInternal):
+		return http.StatusInternalServerError, "internal"
+	}
+	return http.StatusUnprocessableEntity, "invalid_graph"
+}
+
+// statusOf is classify's status for call sites that pick the code later.
 func statusOf(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		return http.StatusServiceUnavailable
-	}
-	if errors.Is(err, engine.ErrInternal) {
-		return http.StatusInternalServerError
-	}
-	return http.StatusUnprocessableEntity
+	status, _ := classify(err)
+	return status
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -262,7 +393,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err != nil {
 		log.Printf("encoding response: %v", err)
 		status = http.StatusInternalServerError
-		buf = []byte(`{"error":"internal server error: unencodable response"}`)
+		buf = []byte(`{"error":"internal server error: unencodable response","code":"internal"}`)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -273,13 +404,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable member of the structured error
+	// taxonomy: canceled | disconnected | not_spd | too_large | dimension
+	// | unknown_key | internal | invalid_request | invalid_graph.
+	Code string `json:"code"`
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
+	// The code comes from the error taxonomy when it recognizes the error;
+	// otherwise the handler-chosen status names the code (a 404 is an
+	// unknown key, a 400 a malformed request, a 5xx an engine fault, and
+	// the 422 fallback an unusable graph).
+	_, code := classify(err)
+	if code == "invalid_graph" {
+		switch {
+		case status == http.StatusNotFound:
+			code = "unknown_key"
+		case status == http.StatusBadRequest:
+			code = "invalid_request"
+		case status >= http.StatusInternalServerError:
+			code = "internal"
+		}
+	}
 	// Server faults keep their detail in the log, not the response body.
-	if status >= http.StatusInternalServerError {
+	// Cancellations also map to 5xx (503) but are the client's deadline,
+	// not a fault — their message is useful and safe to return.
+	if code == "internal" {
 		log.Printf("internal error: %v", err)
 		err = errors.New("internal server error")
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
 }

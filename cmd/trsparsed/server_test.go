@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/gen"
@@ -294,5 +295,179 @@ func TestErrorResponses(t *testing.T) {
 	getResp.Body.Close()
 	if getResp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET sparsify status = %d", getResp.StatusCode)
+	}
+}
+
+// TestV2SparsifySolvePartition exercises the current API surface
+// end-to-end: build via /v2/sparsify, solve by key via /v2/solve, and
+// bipartition via /v2/partition.
+func TestV2SparsifySolvePartition(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(30, 30, 4)
+
+	var sp sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify", graphRequest(g), &sp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 sparsify status = %d", resp.StatusCode)
+	}
+	if sp.Key == "" || sp.EdgeCount <= 0 {
+		t.Fatalf("v2 sparsify response: %+v", sp)
+	}
+
+	b := make([]float64, g.N)
+	b[0], b[g.N-1] = 1, -1
+	var sol solveResponse
+	if resp := postJSON(t, ts.URL+"/v2/solve",
+		solveRequest{Key: sp.Key, B: b, Tol: 1e-6}, &sol); resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 solve status = %d", resp.StatusCode)
+	}
+	if !sol.Converged || !sol.Cached {
+		t.Fatalf("v2 solve: %+v", sol)
+	}
+
+	var part partitionResponse
+	if resp := postJSON(t, ts.URL+"/v2/partition",
+		partitionRequest{Key: sp.Key}, &part); resp.StatusCode != http.StatusOK {
+		t.Fatalf("v2 partition status = %d", resp.StatusCode)
+	}
+	if len(part.Partition) != g.N {
+		t.Fatalf("partition has %d entries, want %d", len(part.Partition), g.N)
+	}
+	zeros := 0
+	for _, p := range part.Partition {
+		if p == 0 {
+			zeros++
+		} else if p != 1 {
+			t.Fatalf("partition label %d not in {0,1}", p)
+		}
+	}
+	if zeros != g.N/2 && zeros != (g.N+1)/2 {
+		t.Fatalf("median split unbalanced: %d of %d on side 0", zeros, g.N)
+	}
+}
+
+// TestV2SolveHonorsRequestDeadline is the acceptance check: a /v2/solve
+// with a 1 ms deadline must come back (503, code "canceled") well before a
+// full cold solve of the same graph completes.
+func TestV2SolveHonorsRequestDeadline(t *testing.T) {
+	g := gen.Grid2D(70, 70, 6)
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = signOf(i)
+	}
+	req := solveRequest{Graph: &graphPayload{N: g.N, Edges: edgesPayload(g)}, B: b, Tol: 1e-10}
+
+	// Reference: how long the full cold solve takes on a fresh server.
+	tsFull := newTestServer(t)
+	start := time.Now()
+	if resp := postJSON(t, tsFull.URL+"/v2/solve", req, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference solve status = %d", resp.StatusCode)
+	}
+	full := time.Since(start)
+
+	// Deadline request against another fresh server (nothing cached).
+	tsDead := newTestServer(t)
+	start = time.Now()
+	var e errorResponse
+	resp := postJSON(t, tsDead.URL+"/v2/solve?timeout_ms=1", req, &e)
+	early := time.Since(start)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline solve status = %d, want 503", resp.StatusCode)
+	}
+	if e.Code != "canceled" {
+		t.Fatalf("deadline solve code = %q, want canceled", e.Code)
+	}
+	if early >= full {
+		t.Fatalf("canceled request took %v, not faster than the full solve %v", early, full)
+	}
+
+	// Malformed deadline → 400.
+	if resp := postJSON(t, tsDead.URL+"/v2/solve?timeout_ms=-5", req, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative timeout status = %d", resp.StatusCode)
+	}
+}
+
+// TestV1DeprecationShim: /v1 responses carry the deprecation headers and
+// still serve the old shapes.
+func TestV1DeprecationShim(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(10, 10, 2)
+	buf, err := json.Marshal(graphRequest(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sparsify", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 sparsify status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("v1 response missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v2/sparsify") {
+		t.Fatalf("v1 Link header %q does not name the successor", link)
+	}
+	// The v2 route must NOT carry the deprecation marker.
+	resp2, err := http.Post(ts.URL+"/v2/sparsify", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("Deprecation") != "" {
+		t.Fatal("v2 response wrongly marked deprecated")
+	}
+}
+
+// TestV2StructuredErrorCodes: the error taxonomy is machine-readable.
+func TestV2StructuredErrorCodes(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Disconnected graph → 422 / "disconnected".
+	var e errorResponse
+	req := sparsifyRequest{Graph: &graphPayload{N: 4, Edges: [][3]float64{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}}}}
+	if resp := postJSON(t, ts.URL+"/v2/sparsify", req, &e); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("disconnected status = %d", resp.StatusCode)
+	}
+	if e.Code != "disconnected" {
+		t.Fatalf("disconnected code = %q", e.Code)
+	}
+
+	// Unknown key → 404 / "unknown_key".
+	if resp := postJSON(t, ts.URL+"/v2/solve",
+		solveRequest{Key: "g9-9-0000000000000000", B: []float64{1}}, &e); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key status = %d", resp.StatusCode)
+	}
+	if e.Code != "unknown_key" {
+		t.Fatalf("unknown key code = %q", e.Code)
+	}
+
+	// Mis-sized rhs against a cached artifact → 400 / "dimension".
+	g := gen.Grid2D(8, 8, 1)
+	var sp sparsifyResponse
+	postJSON(t, ts.URL+"/v2/sparsify", graphRequest(g), &sp)
+	if resp := postJSON(t, ts.URL+"/v2/solve",
+		solveRequest{Key: sp.Key, B: []float64{1, 2}}, &e); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dimension status = %d", resp.StatusCode)
+	}
+	if e.Code != "dimension" {
+		t.Fatalf("dimension code = %q", e.Code)
+	}
+}
+
+// TestV2MaxVerticesAdmission: the -max-vertices admission limit surfaces
+// as 413 / "too_large".
+func TestV2MaxVerticesAdmission(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 2, CacheSize: 2, MaxVertices: 50})
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+	g := gen.Grid2D(10, 10, 1) // 100 vertices > 50
+	var e errorResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify", graphRequest(g), &e); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized graph status = %d, want 413", resp.StatusCode)
+	}
+	if e.Code != "too_large" {
+		t.Fatalf("oversized graph code = %q", e.Code)
 	}
 }

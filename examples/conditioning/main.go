@@ -5,12 +5,14 @@
 // prints κ(L_G, L_P) and PCG iteration counts — the data behind the
 // paper's Figure 2 intuition that more recovered edges help, with
 // diminishing returns, and that trace reduction makes better use of every
-// edge budget.
+// edge budget. One Sparsifier handle per (method, α) point; κ and the
+// solve reuse each handle's factorization.
 //
 //	go run ./examples/conditioning
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,6 +22,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	g := trsparse.Tri2D(100, 100, 3)
 	fmt.Printf("mesh: |V|=%d |E|=%d\n\n", g.N, g.M())
@@ -46,19 +49,22 @@ func main() {
 	for _, alpha := range []float64{0.02, 0.05, 0.10, 0.15, 0.20} {
 		fmt.Printf("%-8.2f", alpha)
 		for _, m := range methods {
-			res, err := trsparse.Sparsify(g, trsparse.Options{Method: m.m, Alpha: alpha, Seed: 4})
+			s, err := trsparse.New(ctx, g,
+				trsparse.WithMethod(m.m),
+				trsparse.WithAlpha(alpha),
+				trsparse.WithSeed(4))
 			if err != nil {
 				log.Fatal(err)
 			}
-			kappa, err := trsparse.CondNumber(g, res.Sparsifier, 4)
+			kappa, err := s.CondNumber(ctx)
 			if err != nil {
 				log.Fatal(err)
 			}
-			_, iters, err := trsparse.SolvePCG(g, res.Sparsifier, b, 1e-6)
+			sol, err := s.Solve(ctx, b)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf(" | %7.1f %-14d", kappa, iters)
+			fmt.Printf(" | %7.1f %-14d", kappa, sol.Iterations)
 		}
 		fmt.Println()
 	}

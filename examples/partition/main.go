@@ -2,14 +2,16 @@
 // (the paper's §4.3 application).
 //
 // Builds a finite-element-style mesh, computes its Fiedler vector twice —
-// with a direct solver and with PCG preconditioned by a trace-reduction
-// sparsifier — bipartitions at the median, and reports the cut weight and
-// the disagreement between the two partitions (the paper's RelErr).
+// with a direct solver and through a trace-reduction Sparsifier handle
+// (PCG inside inverse power iteration) — bipartitions at the median, and
+// reports the cut weight and the disagreement between the two partitions
+// (the paper's RelErr).
 //
 //	go run ./examples/partition
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,6 +25,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	g := trsparse.Tri2D(150, 150, 5)
 	fmt.Printf("mesh: |V|=%d |E|=%d\n", g.N, g.M())
@@ -39,13 +42,16 @@ func main() {
 	tDirect := time.Since(t0)
 	partDirect := partition.Bipartition(fvDirect)
 
-	// Sparsifier-accelerated: PCG inside the inverse power iteration.
-	sp, err := trsparse.Sparsify(g, trsparse.Options{Seed: 1})
+	// Sparsifier-accelerated: one handle, PCG inside the power iteration.
+	s, err := trsparse.New(ctx, g,
+		trsparse.WithSeed(1),
+		trsparse.WithFiedlerSteps(5),
+		trsparse.WithFiedlerTolerance(1e-6))
 	if err != nil {
 		log.Fatal(err)
 	}
 	t0 = time.Now()
-	fvIter, err := trsparse.Fiedler(g, sp.Sparsifier, 5, 1e-6, 1)
+	fvIter, err := s.Fiedler(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +67,7 @@ func main() {
 	}
 	fmt.Printf("direct solver:    %v, cut weight %.1f\n", tDirect, cut(partDirect))
 	fmt.Printf("iterative solver: %v, cut weight %.1f (plus %v sparsification, amortizable)\n",
-		tIter, cut(partIter), sp.Stats.Total)
+		tIter, cut(partIter), s.Result().Stats.Total)
 	fmt.Printf("partition disagreement (RelErr): %.2e  (paper reports ~1e-3)\n",
 		partition.Disagreement(partDirect, partIter))
 	fmt.Printf("speedup %.1fx\n", float64(tDirect)/float64(tIter))

@@ -3,23 +3,26 @@
 // Synthesizes a three-layer power grid with pulse current loads, runs
 // backward-Euler transient analysis to 5 ns with (a) the fixed-step direct
 // solver and (b) the varied-step PCG solver preconditioned by a
-// trace-reduction sparsifier of the grid, and compares runtime, memory,
-// and waveform agreement at the worst IR-drop node.
+// trace-reduction sparsifier of the grid (built once through the v2
+// handle API), and compares runtime, memory, and waveform agreement at
+// the worst IR-drop node.
 //
 //	go run ./examples/powergrid
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	trsparse "repro"
 	"repro/internal/chol"
 	"repro/internal/pg"
-	"repro/internal/sparsify"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	grid, err := pg.Synthesize(pg.Config{NX: 60, NY: 60, Layers: 3, Seed: 9})
 	if err != nil {
@@ -46,11 +49,11 @@ func main() {
 	fmt.Printf("\ndirect (fixed 10 ps): %d steps, %v, factor %.1f MB\n",
 		direct.Steps, direct.SimTime, float64(direct.MemBytes)/(1<<20))
 
-	sp, err := sparsify.Sparsify(grid.G, sparsify.Options{Seed: 9})
+	s, err := trsparse.New(ctx, grid.G, trsparse.WithSeed(9))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pf, err := chol.New(grid.SparsifiedConductance(sp.Sparsifier), chol.Options{})
+	pf, err := chol.New(grid.SparsifiedConductance(s.SparsifierGraph()), chol.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +64,8 @@ func main() {
 	fmt.Printf("iterative (varied ≤200 ps, trace-reduction preconditioner): %d steps, "+
 		"%.1f avg PCG iters, %v, factor %.1f MB\n",
 		iter.Steps, iter.AvgIter, iter.SimTime, float64(iter.MemBytes)/(1<<20))
-	fmt.Printf("sparsification took %v for %d edges\n", sp.Stats.Total, len(sp.EdgeIdx))
+	fmt.Printf("sparsification took %v for %d edges\n",
+		s.Result().Stats.Total, len(s.Result().EdgeIdx))
 
 	dev := pg.MaxAbsDiff(iter.Probes[probe], direct.Probes[probe])
 	vmin := grid.Cfg.VDD

@@ -1,14 +1,16 @@
 // Quickstart: sparsify a weighted grid and see what the sparsifier buys.
 //
-// Builds a 200×200 grid (40k vertices, ~80k edges), extracts a sparsifier
-// with ~10%·|V| off-tree edges via approximate trace reduction, and
-// compares the relative condition number and PCG behaviour of the bare
-// spanning tree against the densified sparsifier.
+// Builds a 200×200 grid (40k vertices, ~80k edges), creates a Sparsifier
+// handle with ~10%·|V| off-tree edges recovered via approximate trace
+// reduction, and compares the relative condition number and PCG behaviour
+// of the bare spanning tree against the densified sparsifier. Each
+// subgraph gets its own handle — built once, measured many times.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,43 +20,52 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	g := trsparse.Grid2D(200, 200, 42)
 	fmt.Printf("graph: |V|=%d |E|=%d\n", g.N, g.M())
 
-	res, err := trsparse.Sparsify(g, trsparse.Options{Seed: 42})
+	s, err := trsparse.New(ctx, g, trsparse.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := s.Result()
 	fmt.Printf("sparsifier: %d edges (spanning tree %d + recovered %d) in %v\n",
 		len(res.EdgeIdx), g.N-1, res.Stats.EdgesAdded, res.Stats.Total)
 
-	treeOnly := g.Subgraph(res.Tree.EdgeIdx)
-	kTree, err := trsparse.CondNumber(g, treeOnly, 1)
+	// A second handle adopting the bare spanning tree, for comparison.
+	tree, err := trsparse.New(ctx, g,
+		trsparse.WithSparsifierGraph(g.Subgraph(res.Tree.EdgeIdx)),
+		trsparse.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	kSparse, err := trsparse.CondNumber(g, res.Sparsifier, 1)
+
+	kTree, err := tree.CondNumber(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kSparse, err := s.CondNumber(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("κ(L_G, L_tree)       = %.1f\n", kTree)
 	fmt.Printf("κ(L_G, L_sparsifier) = %.1f  (%.1fx better)\n", kSparse, kTree/kSparse)
 
-	// Solve a random SDD system with the sparsifier as preconditioner.
+	// Solve a random SDD system through each handle's cached factorization.
 	rng := rand.New(rand.NewSource(7))
 	b := make([]float64, g.N)
 	for i := range b {
 		b[i] = rng.NormFloat64()
 	}
-	_, itTree, err := trsparse.SolvePCG(g, treeOnly, b, 1e-6)
+	solTree, err := tree.Solve(ctx, b)
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, itSparse, err := trsparse.SolvePCG(g, res.Sparsifier, b, 1e-6)
+	solSparse, err := s.Solve(ctx, b)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("PCG to rtol 1e-6: tree preconditioner %d iterations, sparsifier %d\n",
-		itTree, itSparse)
+		solTree.Iterations, solSparse.Iterations)
 }

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -43,4 +44,15 @@ func tee(w io.Writer) io.Writer {
 		return io.Discard
 	}
 	return w
+}
+
+// ctxCheck polls an optional per-driver context at case boundaries.
+func ctxCheck(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return nil
 }

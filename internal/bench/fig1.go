@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -20,6 +21,10 @@ type Fig1Series struct {
 
 // Fig1Options configures RunFig1.
 type Fig1Options struct {
+	// Ctx, when non-nil, makes the run cancellable: it is checked before
+	// each net simulation, so an interrupted experiment stops at the next case
+	// boundary and returns the context error.
+	Ctx     context.Context
 	Scale   float64
 	Seed    int64
 	Horizon float64
@@ -39,6 +44,9 @@ func RunFig1(opts Fig1Options, w io.Writer) ([]Fig1Series, error) {
 	var out []Fig1Series
 	fmt.Fprintln(w, "net,t_ns,v_direct,v_iterative")
 	for _, ground := range []bool{false, true} {
+		if err := ctxCheck(opts.Ctx); err != nil {
+			return out, err
+		}
 		grid, err := SynthesizeCase(c, opts.Scale, opts.Seed, ground)
 		if err != nil {
 			return out, fmt.Errorf("bench: fig 1: %w", err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -21,6 +22,10 @@ type Fig2Point struct {
 
 // Fig2Options configures RunFig2.
 type Fig2Options struct {
+	// Ctx, when non-nil, makes the run cancellable: it is checked before
+	// every sweep point, so an interrupted experiment stops at the next case
+	// boundary and returns the context error.
+	Ctx       context.Context
 	Scale     float64
 	Seed      int64
 	Horizon   float64
@@ -48,6 +53,9 @@ func RunFig2(opts Fig2Options, w io.Writer) ([]Fig2Point, error) {
 	fmt.Fprintln(w, "fraction,ttr_grass_s,ttr_proposed_s,na_grass,na_proposed")
 	var out []Fig2Point
 	for _, frac := range fractions {
+		if err := ctxCheck(opts.Ctx); err != nil {
+			return nil, err
+		}
 		p := Fig2Point{Fraction: frac}
 		for _, m := range []sparsify.Method{sparsify.GRASS, sparsify.TraceReduction} {
 			sp, err := sparsify.Sparsify(grid.G, sparsify.Options{Method: m, Alpha: frac, Seed: opts.Seed})

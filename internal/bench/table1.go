@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -30,6 +31,10 @@ type Table1Row struct {
 
 // Table1Options configures RunTable1.
 type Table1Options struct {
+	// Ctx, when non-nil, makes the run cancellable: it is checked before
+	// every case, so an interrupted experiment stops at the next case
+	// boundary and returns the context error.
+	Ctx context.Context
 	// Scale multiplies the default (downsized) case sizes; 1 by default.
 	Scale float64
 	// Cases overrides the case list (default gen.Table1Cases()).
@@ -62,6 +67,9 @@ func RunTable1(opts Table1Options, w io.Writer) ([]Table1Row, error) {
 	var rows []Table1Row
 	var kSum, tSum float64
 	for _, c := range cases {
+		if err := ctxCheck(opts.Ctx); err != nil {
+			return nil, err
+		}
 		g := c.Build(scale, opts.Seed+int64(len(rows)))
 		row := Table1Row{Case: c.Name, N: g.N, M: g.M()}
 

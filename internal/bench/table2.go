@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -70,6 +71,10 @@ type Table2Row struct {
 
 // Table2Options configures RunTable2.
 type Table2Options struct {
+	// Ctx, when non-nil, makes the run cancellable: it is checked before
+	// every case, so an interrupted experiment stops at the next case
+	// boundary and returns the context error.
+	Ctx   context.Context
 	Scale float64
 	Cases []PGCase
 	Seed  int64
@@ -106,6 +111,9 @@ func RunTable2(opts Table2Options, w io.Writer) ([]Table2Row, error) {
 	var rows []Table2Row
 	var sp1Sum, sp2Sum float64
 	for i, c := range cases {
+		if err := ctxCheck(opts.Ctx); err != nil {
+			return nil, err
+		}
 		grid, err := SynthesizeCase(c, opts.Scale, opts.Seed+int64(i), false)
 		if err != nil {
 			return rows, fmt.Errorf("bench: table 2 case %s: %w", c.Name, err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -36,6 +37,10 @@ type Table3Row struct {
 
 // Table3Options configures RunTable3.
 type Table3Options struct {
+	// Ctx, when non-nil, makes the run cancellable: it is checked before
+	// every case, so an interrupted experiment stops at the next case
+	// boundary and returns the context error.
+	Ctx   context.Context
 	Scale float64
 	Cases []gen.Case
 	Seed  int64
@@ -76,6 +81,9 @@ func RunTable3(opts Table3Options, w io.Writer) ([]Table3Row, error) {
 	var rows []Table3Row
 	var sp1Sum, sp2Sum float64
 	for i, c := range cases {
+		if err := ctxCheck(opts.Ctx); err != nil {
+			return nil, err
+		}
 		g := c.Build(scale, opts.Seed+int64(i))
 		shift := lap.Shift(g, 0)
 		lg := lap.Laplacian(g, shift)

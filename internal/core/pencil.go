@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/chol"
@@ -54,6 +56,9 @@ func NewPencil(g, p *graph.Graph, shift []float64) (*Pencil, error) {
 	}
 	f, err := chol.New(pen.LP, chol.Options{})
 	if err != nil {
+		if errors.Is(err, chol.ErrNotPD) {
+			err = fmt.Errorf("%w: %w", ErrNotSPD, err)
+		}
 		return nil, fmt.Errorf("core: factorizing sparsifier: %w", err)
 	}
 	pen.Factor = f
@@ -64,6 +69,49 @@ func NewPencil(g, p *graph.Graph, shift []float64) (*Pencil, error) {
 // starting from x (zero-initialize for a cold start; b and x have length N).
 func (p *Pencil) Solve(b, x []float64, opts solver.Options) solver.Result {
 	return solver.PCG(p.LG, b, x, solver.NewCholPrecond(p.Factor), opts)
+}
+
+// SolveCtx is Solve with cancellation: ctx is polled every few PCG
+// iterations (opts.CheckEvery, default solver.DefaultCheckEvery) and a
+// cancellation returns the wrapped ErrCanceled with x holding the best
+// iterate so far.
+func (p *Pencil) SolveCtx(ctx context.Context, b, x []float64, opts solver.Options) (solver.Result, error) {
+	opts.Ctx = ctx
+	r := p.Solve(b, x, opts)
+	return r, wrapCanceled(r.Err)
+}
+
+// CondNumberCtx is CondNumber with cancellation, polled per Lanczos step.
+func (p *Pencil) CondNumberCtx(ctx context.Context, steps int, seed int64) (float64, error) {
+	k, err := eig.CondNumberCtx(ctx, p.LG, p.Factor, eig.GenMaxOptions{Steps: steps, Seed: seed})
+	return k, wrapCanceled(err)
+}
+
+// TraceEstCtx is TraceEst with cancellation, polled per Hutchinson probe.
+func (p *Pencil) TraceEstCtx(ctx context.Context, probes int, seed int64) (float64, error) {
+	t, err := eig.TraceEstCtx(ctx, p.LG, p.Factor, probes, seed)
+	return t, wrapCanceled(err)
+}
+
+// FiedlerCtx is Fiedler with cancellation: ctx is polled per inverse-power
+// step and inside each inner PCG solve.
+func (p *Pencil) FiedlerCtx(ctx context.Context, steps int, tol float64, seed int64) ([]float64, error) {
+	pre := solver.NewCholPrecond(p.Factor)
+	// Warm start each solve from the previous one's scale: the normalized
+	// RHS converges to the Fiedler direction, so x ≈ (1/λ₂)·b.
+	prevScale := 0.0
+	v, err := eig.FiedlerCtx(ctx, p.N, steps, seed, func(dst, b []float64) {
+		for i := range dst {
+			dst[i] = b[i] * prevScale
+		}
+		solver.PCG(p.LG, b, dst, pre, solver.Options{Tol: tol, Ctx: ctx})
+		var s float64
+		for i := range dst {
+			s += dst[i] * b[i]
+		}
+		prevScale = s
+	})
+	return v, wrapCanceled(err)
 }
 
 // CondNumber estimates κ(L_G, L_P) = λmax(L_P⁻¹ L_G) by generalized
@@ -81,19 +129,6 @@ func (p *Pencil) TraceEst(probes int, seed int64) float64 {
 // Fiedler approximates the Fiedler vector of G by `steps` rounds of inverse
 // power iteration, each inner system solved by PCG through this pencil.
 func (p *Pencil) Fiedler(steps int, tol float64, seed int64) []float64 {
-	pre := solver.NewCholPrecond(p.Factor)
-	// Warm start each solve from the previous one's scale: the normalized
-	// RHS converges to the Fiedler direction, so x ≈ (1/λ₂)·b.
-	prevScale := 0.0
-	return eig.Fiedler(p.N, steps, seed, func(dst, b []float64) {
-		for i := range dst {
-			dst[i] = b[i] * prevScale
-		}
-		solver.PCG(p.LG, b, dst, pre, solver.Options{Tol: tol})
-		var s float64
-		for i := range dst {
-			s += dst[i] * b[i]
-		}
-		prevScale = s
-	})
+	v, _ := p.FiedlerCtx(context.Background(), steps, tol, seed)
+	return v
 }

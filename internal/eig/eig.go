@@ -8,6 +8,7 @@
 package eig
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -27,6 +28,15 @@ type GenMaxOptions struct {
 // spectrum equals that of L_S⁻¹ L_G, and returns the largest eigenvalue of
 // the resulting tridiagonal matrix.
 func CondNumber(lg *sparse.CSC, fs *chol.Factor, opts GenMaxOptions) float64 {
+	k, _ := CondNumberCtx(context.Background(), lg, fs, opts)
+	return k
+}
+
+// CondNumberCtx is CondNumber with cancellation: the context is polled
+// before every Lanczos step (each step costs two triangular solves plus a
+// matrix-vector product, so per-step polling bounds cancellation latency by
+// one step). On cancellation it returns the context error and zero.
+func CondNumberCtx(ctx context.Context, lg *sparse.CSC, fs *chol.Factor, opts GenMaxOptions) (float64, error) {
 	n := lg.Cols
 	steps := opts.Steps
 	if steps <= 0 {
@@ -66,6 +76,9 @@ func CondNumber(lg *sparse.CSC, fs *chol.Factor, opts GenMaxOptions) float64 {
 	beta := make([]float64, 0, steps) // beta[k] couples step k and k+1
 	var betaPrev float64
 	for k := 0; k < steps; k++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		applyC(w, v)
 		if betaPrev != 0 {
 			for i := range w {
@@ -91,7 +104,7 @@ func CondNumber(lg *sparse.CSC, fs *chol.Factor, opts GenMaxOptions) float64 {
 	if len(beta) >= len(alpha) && len(beta) > 0 {
 		beta = beta[:len(alpha)-1]
 	}
-	return TridiagMax(alpha, beta)
+	return TridiagMax(alpha, beta), nil
 }
 
 // TridiagMax returns the largest eigenvalue of the symmetric tridiagonal
@@ -181,6 +194,16 @@ func PowerCond(lg, ls *sparse.CSC, fs *chol.Factor, steps int, seed int64) float
 // (approximate) inverse of the regularized Laplacian; iterations counts
 // reported by the solver can be accumulated by the caller via the closure.
 func Fiedler(n, steps int, seed int64, solve func(dst, b []float64)) []float64 {
+	x, _ := FiedlerCtx(context.Background(), n, steps, seed, solve)
+	return x
+}
+
+// FiedlerCtx is Fiedler with cancellation: the context is polled before
+// every inverse-power step (each step is one full inner solve). The inner
+// solver should additionally honor the same context for sub-step
+// cancellation latency. On cancellation it returns the context error and a
+// nil vector.
+func FiedlerCtx(ctx context.Context, n, steps int, seed int64, solve func(dst, b []float64)) ([]float64, error) {
 	rng := rand.New(rand.NewSource(seed + 13))
 	x := make([]float64, n)
 	b := make([]float64, n)
@@ -190,12 +213,21 @@ func Fiedler(n, steps int, seed int64, solve func(dst, b []float64)) []float64 {
 	deflate(x)
 	normalize(x)
 	for k := 0; k < steps; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		copy(b, x)
 		solve(x, b)
 		deflate(x)
 		normalize(x)
 	}
-	return x
+	// A cancellation that landed during the final solve left x holding a
+	// partial iterate; without this check it would be returned as a valid
+	// vector with a nil error.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return x, nil
 }
 
 // deflate removes the component along the all-ones vector.

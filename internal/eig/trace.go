@@ -1,6 +1,7 @@
 package eig
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/chol"
@@ -17,6 +18,14 @@ import (
 // densification without dense inverses, and is cross-checked against the
 // exact dense trace in tests.
 func TraceEst(lg *sparse.CSC, fs *chol.Factor, probes int, seed int64) float64 {
+	t, _ := TraceEstCtx(context.Background(), lg, fs, probes, seed)
+	return t
+}
+
+// TraceEstCtx is TraceEst with cancellation: the context is polled before
+// every probe (each probe costs one matrix-vector product and one
+// factorized solve). On cancellation it returns the context error and zero.
+func TraceEstCtx(ctx context.Context, lg *sparse.CSC, fs *chol.Factor, probes int, seed int64) (float64, error) {
 	n := lg.Cols
 	if probes <= 0 {
 		probes = 30
@@ -27,6 +36,9 @@ func TraceEst(lg *sparse.CSC, fs *chol.Factor, probes int, seed int64) float64 {
 	x := make([]float64, n)
 	var sum float64
 	for p := 0; p < probes; p++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		for i := range z {
 			if rng.Intn(2) == 0 {
 				z[i] = 1
@@ -40,5 +52,5 @@ func TraceEst(lg *sparse.CSC, fs *chol.Factor, probes int, seed int64) float64 {
 			sum += z[i] * x[i]
 		}
 	}
-	return sum / float64(probes)
+	return sum / float64(probes), nil
 }

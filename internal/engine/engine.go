@@ -21,7 +21,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/solver"
 	"repro/internal/sparsify"
 )
 
@@ -49,6 +48,10 @@ type Options struct {
 	// Sparsify configures how artifacts are built (zero value = the
 	// paper's parameters).
 	Sparsify sparsify.Options
+	// MaxVertices rejects graphs above this vertex count at admission
+	// (core.ErrTooLarge); 0 disables the limit. Serving deployments use
+	// it to bound per-request memory.
+	MaxVertices int
 }
 
 func (o Options) withDefaults() Options {
@@ -170,10 +173,12 @@ func (e *Engine) Sparsify(ctx context.Context, g *graph.Graph) (*Artifact, bool,
 	}
 }
 
-// build runs one artifact construction on the pool. It is detached from
-// any single request's context: once started, the build completes and
-// fills the cache even if every waiter timed out — the work is already
-// paid for and the next request for this graph becomes a hit.
+// build runs one artifact construction on the pool: it creates the same
+// core.Sparsifier handle the public API hands out and wraps it with the
+// fingerprint identity. It is detached from any single request's context:
+// once started, the build completes and fills the cache even if every
+// waiter timed out — the work is already paid for and the next request for
+// this graph becomes a hit.
 func (e *Engine) build(g *graph.Graph, fp Fingerprint, c *buildCall) {
 	enqueued := time.Now()
 	e.sem <- struct{}{}
@@ -200,24 +205,26 @@ func (e *Engine) build(g *graph.Graph, fp Fingerprint, c *buildCall) {
 		}
 	}()
 
-	res, err := sparsify.Sparsify(g, e.opts.Sparsify)
+	// The build deliberately runs under context.Background(): detachment
+	// from the waiters' contexts is the whole point (see above).
+	h, err := core.NewSparsifier(context.Background(), g, core.Config{
+		Sparsify:    e.opts.Sparsify,
+		MaxVertices: e.opts.MaxVertices,
+	})
 	if err != nil {
 		e.c.jobErrors.Add(1)
-		c.err = fmt.Errorf("engine: sparsifying %s: %w", fp.Key(), err)
+		c.err = fmt.Errorf("engine: building %s: %w", fp.Key(), err)
 		return
 	}
-	pen, err := core.NewPencil(g, res.Sparsifier, res.Shift)
-	if err != nil {
-		e.c.jobErrors.Add(1)
-		c.err = fmt.Errorf("engine: preparing pencil for %s: %w", fp.Key(), err)
-		return
-	}
+	// Drop construction scaffolding before publishing: the store's
+	// capacity should bound factorizations, and the spanning tree inside
+	// Result would otherwise pin the whole input graph per cached entry.
+	h.Compact()
 	e.c.builds.Add(1)
 	c.art = &Artifact{
 		Fingerprint: fp,
 		Key:         fp.Key(),
-		Sparsifier:  res.Sparsifier,
-		Pencil:      pen,
+		Handle:      h,
 		BuiltAt:     start,
 		BuildTime:   time.Since(start),
 	}
@@ -243,7 +250,8 @@ func (e *Engine) Solve(ctx context.Context, g *graph.Graph, b []float64, tol flo
 	// Reject a mis-sized rhs before paying for sparsification and
 	// factorization; SolveArtifact re-checks for the by-key path.
 	if len(b) != g.N {
-		return nil, fmt.Errorf("engine: rhs has length %d, graph has %d vertices", len(b), g.N)
+		return nil, fmt.Errorf("engine: rhs has length %d, graph has %d vertices (%w)",
+			len(b), g.N, core.ErrDimension)
 	}
 	art, hit, err := e.Sparsify(ctx, g)
 	if err != nil {
@@ -258,19 +266,24 @@ func (e *Engine) Solve(ctx context.Context, g *graph.Graph, b []float64, tol flo
 }
 
 // SolveArtifact solves against an already-obtained artifact (e.g. looked
-// up by key), reusing its factorization.
+// up by key), reusing its factorization. The caller's context is threaded
+// into the PCG iterations, so a canceled request stops mid-solve instead
+// of running to convergence for nobody.
 func (e *Engine) SolveArtifact(ctx context.Context, art *Artifact, b []float64, tol float64) (*SolveResult, error) {
-	if len(b) != art.Pencil.N {
-		return nil, fmt.Errorf("engine: rhs has length %d, graph has %d vertices", len(b), art.Pencil.N)
+	if len(b) != art.Handle.N() {
+		return nil, fmt.Errorf("engine: rhs has length %d, graph has %d vertices (%w)",
+			len(b), art.Handle.N(), core.ErrDimension)
 	}
-	return runJob(e, ctx, func() (*SolveResult, error) {
-		x := make([]float64, len(b))
-		r := art.Pencil.Solve(b, x, solver.Options{Tol: tol})
+	return runJob(e, ctx, func(jctx context.Context) (*SolveResult, error) {
+		sol, err := art.Handle.SolveTol(jctx, b, tol)
+		if err != nil {
+			return nil, err
+		}
 		return &SolveResult{
-			X:          x,
-			Iterations: r.Iterations,
-			RelRes:     r.RelRes,
-			Converged:  r.Converged,
+			X:          sol.X,
+			Iterations: sol.Iterations,
+			RelRes:     sol.RelRes,
+			Converged:  sol.Converged,
 			Artifact:   art,
 		}, nil
 	})
@@ -282,8 +295,8 @@ func (e *Engine) CondNumber(ctx context.Context, g *graph.Graph, seed int64) (fl
 	if err != nil {
 		return 0, err
 	}
-	return runJob(e, ctx, func() (float64, error) {
-		return art.Pencil.CondNumber(0, seed), nil
+	return runJob(e, ctx, func(jctx context.Context) (float64, error) {
+		return art.Handle.CondNumberWith(jctx, 0, seed)
 	})
 }
 
@@ -293,8 +306,26 @@ func (e *Engine) Fiedler(ctx context.Context, g *graph.Graph, steps int, tol flo
 	if err != nil {
 		return nil, err
 	}
-	return runJob(e, ctx, func() ([]float64, error) {
-		return art.Pencil.Fiedler(steps, tol, seed), nil
+	return runJob(e, ctx, func(jctx context.Context) ([]float64, error) {
+		return art.Handle.FiedlerWith(jctx, steps, tol, seed)
+	})
+}
+
+// Partition computes g's spectral bipartition through its cached artifact
+// (Fiedler vector split at the median; the paper's §4.3 application).
+func (e *Engine) Partition(ctx context.Context, g *graph.Graph) ([]int, error) {
+	art, _, err := e.Sparsify(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return e.PartitionArtifact(ctx, art)
+}
+
+// PartitionArtifact computes the spectral bipartition against an
+// already-obtained artifact (e.g. looked up by key).
+func (e *Engine) PartitionArtifact(ctx context.Context, art *Artifact) ([]int, error) {
+	return runJob(e, ctx, func(jctx context.Context) ([]int, error) {
+		return art.Handle.Partition(jctx)
 	})
 }
 
@@ -302,7 +333,10 @@ func (e *Engine) Fiedler(ctx context.Context, g *graph.Graph, steps int, tol flo
 // It deliberately bypasses the cache: Evaluate times sparsifier
 // construction, so serving it a prebuilt artifact would be lying.
 func (e *Engine) Evaluate(ctx context.Context, g *graph.Graph, eopts core.EvalOptions) (*core.Outcome, error) {
-	return runJob(e, ctx, func() (*core.Outcome, error) {
+	return runJob(e, ctx, func(context.Context) (*core.Outcome, error) {
+		// Evaluate times construction itself and is deliberately not
+		// interruptible mid-measurement; the job context still bounds the
+		// caller's wait.
 		return core.Evaluate(g, e.opts.Sparsify, eopts)
 	})
 }
@@ -375,10 +409,14 @@ func (e *Engine) noteCtx(ctx context.Context) {
 
 // runJob executes do on the bounded pool: it waits for a worker slot
 // (honoring cancellation and the per-job timeout), runs, and returns the
-// result. If the caller's wait ends while the job is running, the call
-// returns the context error but the job finishes in the background still
-// holding its slot, so the pool stays bounded.
-func runJob[T any](e *Engine, ctx context.Context, do func() (T, error)) (T, error) {
+// result. do receives the derived job context — caller context plus the
+// per-job timeout — so context-aware work (PCG, Lanczos) stops when
+// either fires instead of burning its worker slot to completion. If the
+// caller's wait ends while the job is running anyway (non-context-aware
+// work, or the gap between polls), the call returns the context error and
+// the job finishes in the background still holding its slot, so the pool
+// stays bounded.
+func runJob[T any](e *Engine, ctx context.Context, do func(context.Context) (T, error)) (T, error) {
 	var zero T
 	ctx, cancel := e.jobCtx(ctx)
 	defer cancel()
@@ -409,7 +447,7 @@ func runJob[T any](e *Engine, ctx context.Context, do func() (T, error)) (T, err
 			e.c.inFlight.Add(-1)
 			<-e.sem
 		}()
-		v, err := do()
+		v, err := do(ctx)
 		if err != nil {
 			e.c.jobErrors.Add(1)
 		}

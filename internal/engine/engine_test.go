@@ -43,7 +43,7 @@ func TestSparsifyAllConcurrent(t *testing.T) {
 		if it.Err != nil {
 			t.Fatalf("item %d: %v", it.Index, it.Err)
 		}
-		if it.Artifact == nil || it.Artifact.Sparsifier.M() == 0 {
+		if it.Artifact == nil || it.Artifact.SparsifierGraph().M() == 0 {
 			t.Fatalf("item %d: empty artifact", it.Index)
 		}
 		keys[it.Artifact.Key] = true
@@ -111,7 +111,7 @@ func TestSolveCacheHitSkipsRebuild(t *testing.T) {
 	if !r2.Converged {
 		t.Fatal("second solve did not converge")
 	}
-	if r2.Artifact.Pencil != r1.Artifact.Pencil {
+	if r2.Artifact.Pencil() != r1.Artifact.Pencil() {
 		t.Fatal("second solve used a different factorization")
 	}
 	s := e.Stats()
@@ -175,19 +175,21 @@ func TestBatchCollectsPerItemErrors(t *testing.T) {
 func TestSolveRejectsMisSizedRHSBeforeBuilding(t *testing.T) {
 	e := New(testOptions())
 	g := gen.Grid2D(10, 10, 1)
-	if _, err := e.Solve(context.Background(), g, make([]float64, g.N-1), 1e-6); err == nil {
-		t.Fatal("mis-sized rhs accepted")
+	if _, err := e.Solve(context.Background(), g, make([]float64, g.N-1), 1e-6); !errors.Is(err, core.ErrDimension) {
+		t.Fatalf("mis-sized rhs: err = %v, want ErrDimension", err)
 	}
 	if s := e.Stats(); s.Builds != 0 || s.Jobs != 0 {
 		t.Fatalf("mis-sized rhs still paid for a build: %+v", s)
 	}
 }
 
-func TestBuildPanicBecomesJobError(t *testing.T) {
+func TestDegenerateGraphBecomesJobError(t *testing.T) {
 	e := New(testOptions())
-	// A zero-vertex graph passes graph.New but panics deep inside the
-	// sparsifier; the build goroutine must recover it into a job error
-	// instead of crashing the process.
+	// A zero-vertex graph passes graph.New; it used to panic deep inside
+	// the sparsifier (recovered into ErrInternal). The handle now rejects
+	// it at admission with a clean validation error — which must surface
+	// to the waiter as a job error, not crash the process and not be
+	// blamed on the engine.
 	empty, err := graph.New(0, nil)
 	if err != nil {
 		t.Skipf("graph.New(0, nil) now rejects empty graphs: %v", err)
@@ -196,11 +198,11 @@ func TestBuildPanicBecomesJobError(t *testing.T) {
 	if err == nil {
 		t.Fatal("Sparsify of empty graph succeeded")
 	}
-	if !errors.Is(err, ErrInternal) {
-		t.Fatalf("panic error not marked internal: %v", err)
+	if errors.Is(err, ErrInternal) {
+		t.Fatalf("validation error misclassified as engine fault: %v", err)
 	}
 	if s := e.Stats(); s.JobErrors != 1 {
-		t.Fatalf("panic not counted as job error: %+v", s)
+		t.Fatalf("degenerate graph not counted as job error: %+v", s)
 	}
 }
 
@@ -255,5 +257,46 @@ func TestEvaluateAll(t *testing.T) {
 		if it.Outcome.PCGIters <= 0 || it.Outcome.Kappa <= 0 {
 			t.Fatalf("item %d: implausible outcome %+v", it.Index, it.Outcome)
 		}
+	}
+}
+
+// TestJobTimeoutCancelsRunningJob: the per-job timeout context reaches
+// the math inside the job — here a Fiedler run whose step budget would
+// take far longer than the timeout — so the abandoned job actually stops
+// (in-flight drains) instead of burning its worker slot to completion.
+func TestJobTimeoutCancelsRunningJob(t *testing.T) {
+	opts := testOptions()
+	opts.JobTimeout = 300 * time.Millisecond
+	e := New(opts)
+	g := gen.Grid2D(40, 40, 7)
+	// Prime the cache so the Fiedler job's wait is all computation. Under
+	// -race the first build can outlive the job timeout; the detached
+	// build still fills the cache, so wait for that instead of failing.
+	if _, _, err := e.Sparsify(context.Background(), g); err != nil {
+		key := FingerprintGraph(g).Key()
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if _, ok := e.Lookup(key); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("background build never filled the cache (first error: %v)", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	_, err := e.Fiedler(context.Background(), g, 1_000_000, 1e-6, 7)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in chain", err)
+	}
+	// The job itself must notice the cancellation and exit promptly; before
+	// the job context was threaded into the handle methods it would grind
+	// through all 10⁶ inverse-power steps in the background.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job still running %v after its timeout", 5*time.Second)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -9,26 +9,30 @@ import (
 	"repro/internal/graph"
 )
 
-// Artifact is everything the engine caches for one graph: the sparsifier
-// subgraph and the prepared pencil (shift, L_G, L_P, and the sparsifier's
-// Cholesky factorization). Holding the pencil is the point of the cache —
-// a hit makes Solve/Fiedler/CondNumber requests pure factorization reuse,
-// with no sparsification and no refactorization. The rest of the
-// construction result (spanning tree, per-edge membership flags) is
-// deliberately not retained: it is O(n + m) of auxiliary state nothing on
-// the serving path reads, and the store's capacity should bound
-// factorizations, not dead scaffolding.
+// Artifact is one cached build: a core.Sparsifier handle — the same
+// long-lived unit the public trsparse.New API hands out — plus its
+// fingerprint identity and build telemetry. The handle carries the
+// sparsifier subgraph and the prepared pencil (shift, L_G, L_P, Cholesky
+// factorization), so a cache hit makes Solve/Fiedler/CondNumber requests
+// pure factorization reuse with no sparsification and no refactorization.
+// There is deliberately no parallel artifact representation: what the
+// engine caches and what the library API returns are the same object.
 //
 // Artifacts are immutable after construction and safe to share across
 // goroutines.
 type Artifact struct {
 	Fingerprint Fingerprint
 	Key         string
-	Sparsifier  *graph.Graph
-	Pencil      *core.Pencil
+	Handle      *core.Sparsifier
 	BuiltAt     time.Time
 	BuildTime   time.Duration
 }
+
+// SparsifierGraph returns the cached handle's sparsifier subgraph.
+func (a *Artifact) SparsifierGraph() *graph.Graph { return a.Handle.SparsifierGraph() }
+
+// Pencil returns the cached handle's prepared pencil.
+func (a *Artifact) Pencil() *core.Pencil { return a.Handle.Pencil() }
 
 // Store is a mutex-guarded LRU cache of Artifacts keyed by graph
 // fingerprint. Capacity bounds resident factorizations (the dominant

@@ -1,6 +1,7 @@
 package sparsify
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -104,7 +105,7 @@ func TestScoresAreFinite(t *testing.T) {
 	g := gen.Tri2D(15, 15, 6)
 	st := mustTree(t, g)
 	o := Options{Workers: 2}.withDefaults()
-	scores := scoreTreePhase(g, st, st.OffTreeEdges(), o)
+	scores := mustScore(scoreTreePhase(context.Background(), g, st, st.OffTreeEdges(), o))
 	for i, s := range scores {
 		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
 			t.Fatalf("score[%d] = %g", i, s)
@@ -146,8 +147,8 @@ func TestWorkersDoNotChangeScores(t *testing.T) {
 	cand := st.OffTreeEdges()
 	o1 := Options{Workers: 1}.withDefaults()
 	o8 := Options{Workers: 8}.withDefaults()
-	s1 := scoreTreePhase(g, st, cand, o1)
-	s8 := scoreTreePhase(g, st, cand, o8)
+	s1 := mustScore(scoreTreePhase(context.Background(), g, st, cand, o1))
+	s8 := mustScore(scoreTreePhase(context.Background(), g, st, cand, o8))
 	for i := range s1 {
 		if s1[i] != s8[i] {
 			t.Fatalf("score[%d] differs across worker counts: %g vs %g", i, s1[i], s8[i])

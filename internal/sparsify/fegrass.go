@@ -1,6 +1,8 @@
 package sparsify
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/graph"
@@ -12,7 +14,10 @@ import (
 // for all off-tree edges in one offline-LCA pass. feGRASS is single-shot
 // (no densification): the whole edge budget is selected at once, with the
 // similarity exclusion applied during selection.
-func runFeGRASS(g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options) error {
+func runFeGRASS(ctx context.Context, g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sparsify: feGRASS: %w", err)
+	}
 	t0 := time.Now()
 	cand := offSubgraphEdges(g, res.InSub)
 	pairs := make([][2]int, len(cand))
@@ -22,10 +27,18 @@ func runFeGRASS(g *graph.Graph, st *tree.Tree, res *Result, budget int, o Option
 	rs := st.Resistances(pairs)
 	scores := make([]float64, len(cand))
 	for i, e := range cand {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sparsify: feGRASS: %w", err)
+			}
+		}
 		scores[i] = g.Edges[e].W * rs[i]
 	}
 	res.Stats.ScoreTime += time.Since(t0)
 
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sparsify: feGRASS: %w", err)
+	}
 	excl := newExcluder(g, st, o.SimilarityHops)
 	added := selectEdges(g, res, excl, cand, scores, budget)
 	res.Stats.EdgesAdded += added

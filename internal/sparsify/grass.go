@@ -1,6 +1,7 @@
 package sparsify
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,7 +24,7 @@ import (
 // stronger feGRASS path-corridor exclusion is reserved for the proposed
 // method (the paper credits that combination as contribution 3); use
 // Options.WithGRASSExclusion for the hybrid in ablation studies.
-func runGRASS(g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options) error {
+func runGRASS(ctx context.Context, g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options) error {
 	perRound := budget / o.Rounds
 	if perRound == 0 {
 		perRound = budget
@@ -36,6 +37,9 @@ func runGRASS(g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options)
 	lg := lap.Laplacian(g, res.Shift)
 
 	for iter := 1; iter <= o.Rounds && res.Stats.EdgesAdded < budget; iter++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sparsify: GRASS round %d: %w", iter, err)
+		}
 		quota := perRound
 		if remaining := budget - res.Stats.EdgesAdded; iter == o.Rounds || quota > remaining {
 			quota = remaining
@@ -67,6 +71,11 @@ func runGRASS(g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options)
 		cand := offSubgraphEdges(g, res.InSub)
 		scores := make([]float64, len(cand))
 		for i, e := range cand {
+			if i%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("sparsify: GRASS round %d: %w", iter, err)
+				}
+			}
 			ed := g.Edges[e]
 			var s float64
 			for _, h := range hs {

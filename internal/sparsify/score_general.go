@@ -1,6 +1,8 @@
 package sparsify
 
 import (
+	"context"
+
 	"repro/internal/chol"
 	"repro/internal/graph"
 	"repro/internal/spai"
@@ -11,21 +13,24 @@ import (
 // subgraph S, using the sparse approximate inverse Z̃ ≈ L⁻¹ of S's Cholesky
 // factor: e_ijᵀ L_S⁻¹ e_pq ≈ (z̃_i − z̃_j)ᵀ (z̃_p − z̃_q) and
 // R_S(p,q) ≈ ‖z̃_p − z̃_q‖².
-func scoreGeneralPhase(g *graph.Graph, inSub []bool, f *chol.Factor, z *spai.ApproxInv,
-	cand []int, o Options) []float64 {
+func scoreGeneralPhase(ctx context.Context, g *graph.Graph, inSub []bool, f *chol.Factor, z *spai.ApproxInv,
+	cand []int, o Options) ([]float64, error) {
 
 	scores := make([]float64, len(cand))
 	scratches := make([]*genScratch, o.Workers)
 	for w := range scratches {
 		scratches[w] = newGenScratch(g.N, g.M())
 	}
-	parallelFor(len(cand), o.Workers, func(worker, i int) {
+	err := parallelFor(ctx, len(cand), o.Workers, func(worker, i int) {
 		sc := scratches[worker]
 		e := cand[i]
 		ed := g.Edges[e]
 		scores[i] = sc.score(g, inSub, f, z, ed.U, ed.V, ed.W, o.Beta)
 	})
-	return scores
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
 }
 
 // genScratch is per-worker reusable state for general-phase scoring.

@@ -1,6 +1,8 @@
 package sparsify
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/tree"
 )
@@ -10,7 +12,7 @@ import (
 // resistances come from one offline-LCA pass; per-edge voltages are
 // propagated by β-layer BFS over the tree using eqs. (13)–(14), which is
 // exact because the unit p→q current flows only along the unique tree path.
-func scoreTreePhase(g *graph.Graph, st *tree.Tree, cand []int, o Options) []float64 {
+func scoreTreePhase(ctx context.Context, g *graph.Graph, st *tree.Tree, cand []int, o Options) ([]float64, error) {
 	pairs := make([][2]int, len(cand))
 	for i, e := range cand {
 		pairs[i] = [2]int{g.Edges[e].U, g.Edges[e].V}
@@ -22,7 +24,7 @@ func scoreTreePhase(g *graph.Graph, st *tree.Tree, cand []int, o Options) []floa
 	for w := range scratches {
 		scratches[w] = newTreeScratch(g.N, g.M())
 	}
-	parallelFor(len(cand), o.Workers, func(worker, i int) {
+	err := parallelFor(ctx, len(cand), o.Workers, func(worker, i int) {
 		sc := scratches[worker]
 		e := cand[i]
 		ed := g.Edges[e]
@@ -31,7 +33,10 @@ func scoreTreePhase(g *graph.Graph, st *tree.Tree, cand []int, o Options) []floa
 		sum := sc.truncatedSum(g, st, ed.U, ed.V, l, o.Beta)
 		scores[i] = ed.W * sum / (1 + ed.W*r)
 	})
-	return scores
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
 }
 
 // treeScratch is per-worker reusable state for tree-phase scoring.

@@ -15,6 +15,7 @@
 package sparsify
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -156,8 +157,22 @@ type Result struct {
 // Sparsify runs the configured sparsification algorithm on g.
 // The graph must be connected.
 func Sparsify(g *graph.Graph, opts Options) (*Result, error) {
+	return SparsifyContext(context.Background(), g, opts)
+}
+
+// SparsifyContext is Sparsify with cancellation: ctx is polled before the
+// spanning tree extraction, at every densification round boundary, and
+// every few hundred candidates inside the parallel scoring loops, so a
+// canceled context abandons construction promptly instead of finishing a
+// multi-second build nobody is waiting for. On cancellation it returns the
+// context error (wrapped) and a nil result.
+func SparsifyContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	start := time.Now()
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sparsify: %w", err)
+	}
 
 	t0 := time.Now()
 	st, err := tree.MEWST(g)
@@ -180,11 +195,11 @@ func Sparsify(g *graph.Graph, opts Options) (*Result, error) {
 
 	switch o.Method {
 	case TraceReduction:
-		err = runTraceReduction(g, st, res, budget, o)
+		err = runTraceReduction(ctx, g, st, res, budget, o)
 	case GRASS:
-		err = runGRASS(g, st, res, budget, o)
+		err = runGRASS(ctx, g, st, res, budget, o)
 	case FeGRASS:
-		err = runFeGRASS(g, st, res, budget, o)
+		err = runFeGRASS(ctx, g, st, res, budget, o)
 	default:
 		err = fmt.Errorf("sparsify: unknown method %d", o.Method)
 	}
@@ -204,7 +219,7 @@ func Sparsify(g *graph.Graph, opts Options) (*Result, error) {
 }
 
 // runTraceReduction is Algorithm 2.
-func runTraceReduction(g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options) error {
+func runTraceReduction(ctx context.Context, g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options) error {
 	perRound := budget / o.Rounds
 	if perRound == 0 {
 		perRound = budget
@@ -214,7 +229,10 @@ func runTraceReduction(g *graph.Graph, st *tree.Tree, res *Result, budget int, o
 	// Round 1: exact truncated trace reduction on the tree (eq. 15).
 	t0 := time.Now()
 	cand := offSubgraphEdges(g, res.InSub)
-	scores := scoreTreePhase(g, st, cand, o)
+	scores, err := scoreTreePhase(ctx, g, st, cand, o)
+	if err != nil {
+		return fmt.Errorf("sparsify: %w", err)
+	}
 	res.Stats.ScoreTime += time.Since(t0)
 	added := selectEdges(g, res, excl, cand, scores, perRound)
 	res.Stats.EdgesAdded += added
@@ -222,6 +240,9 @@ func runTraceReduction(g *graph.Graph, st *tree.Tree, res *Result, budget int, o
 
 	// Rounds 2..N_r: general subgraph via Cholesky + SPAI (eq. 20).
 	for iter := 2; iter <= o.Rounds && res.Stats.EdgesAdded < budget; iter++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sparsify: round %d: %w", iter, err)
+		}
 		remaining := budget - res.Stats.EdgesAdded
 		quota := perRound
 		if iter == o.Rounds || quota > remaining {
@@ -239,7 +260,10 @@ func runTraceReduction(g *graph.Graph, st *tree.Tree, res *Result, budget int, o
 
 		t0 = time.Now()
 		cand = offSubgraphEdges(g, res.InSub)
-		scores = scoreGeneralPhase(g, res.InSub, f, z, cand, o)
+		scores, err = scoreGeneralPhase(ctx, g, res.InSub, f, z, cand, o)
+		if err != nil {
+			return fmt.Errorf("sparsify: round %d: %w", iter, err)
+		}
 		res.Stats.ScoreTime += time.Since(t0)
 		added = selectEdges(g, res, excl, cand, scores, quota)
 		res.Stats.EdgesAdded += added
@@ -328,14 +352,26 @@ func selectEdges(g *graph.Graph, res *Result, excl *excluder, cand []int, scores
 	return added
 }
 
-// parallelFor runs fn(i) for i in [0, n) across the configured workers.
-// Each worker receives a distinct worker id for scratch-space ownership.
-func parallelFor(n, workers int, fn func(worker, i int)) {
+// cancelCheckStride is how many loop iterations run between context polls
+// inside the parallel scoring loops; it bounds cancellation latency by a
+// few hundred candidate scorings per worker.
+const cancelCheckStride = 256
+
+// parallelFor runs fn(i) for i in [0, n) across the configured workers,
+// polling ctx every cancelCheckStride iterations per worker. Each worker
+// receives a distinct worker id for scratch-space ownership. It returns the
+// context error if the loop was abandoned early (some fn calls skipped).
+func parallelFor(ctx context.Context, n, workers int, fn func(worker, i int)) error {
 	if workers <= 1 || n < 64 {
 		for i := 0; i < n; i++ {
+			if i%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			fn(0, i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -352,9 +388,13 @@ func parallelFor(n, workers int, fn func(worker, i int)) {
 		go func(worker, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelCheckStride == 0 && ctx.Err() != nil {
+					return
+				}
 				fn(worker, i)
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package sparsify
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -95,7 +96,7 @@ func TestTreePhaseExactWithLargeBeta(t *testing.T) {
 		cand := st.OffTreeEdges()
 		o := Options{Beta: 100, Workers: 1}.withDefaults()
 		o.Beta = 100
-		scores := scoreTreePhase(g, st, cand, o)
+		scores := mustScore(scoreTreePhase(context.Background(), g, st, cand, o))
 		for i, e := range cand {
 			want := exactTrRedFormula(t, g, inSub, e, shift)
 			if math.Abs(scores[i]-want) > 1e-3*(1+want) {
@@ -116,9 +117,9 @@ func TestTreePhaseTruncationMonotoneInBeta(t *testing.T) {
 	cand := st.OffTreeEdges()
 	o := Options{Workers: 1}.withDefaults()
 	o.Beta = 2
-	s2 := scoreTreePhase(g, st, cand, o)
+	s2 := mustScore(scoreTreePhase(context.Background(), g, st, cand, o))
 	o.Beta = 50
-	s50 := scoreTreePhase(g, st, cand, o)
+	s50 := mustScore(scoreTreePhase(context.Background(), g, st, cand, o))
 	for i := range cand {
 		if s2[i] > s50[i]+1e-9 {
 			t.Errorf("edge %d: truncated score %g exceeds full %g", cand[i], s2[i], s50[i])
@@ -149,7 +150,7 @@ func TestGeneralPhaseMatchesExactOnTree(t *testing.T) {
 	cand := offSubgraphEdges(g, inSub)
 	o := Options{Workers: 1}.withDefaults()
 	o.Beta = 100
-	scores := scoreGeneralPhase(g, inSub, f, z, cand, o)
+	scores := mustScore(scoreGeneralPhase(context.Background(), g, inSub, f, z, cand, o))
 	for i, e := range cand {
 		want := exactTrRedFormula(t, g, inSub, e, shift)
 		if math.Abs(scores[i]-want) > 1e-3*(1+want) {
@@ -188,7 +189,7 @@ func TestGeneralPhaseOnDensifiedSubgraph(t *testing.T) {
 	cand := offSubgraphEdges(g, inSub)
 	o := Options{Workers: 1}.withDefaults()
 	o.Beta = 100
-	scores := scoreGeneralPhase(g, inSub, f, z, cand, o)
+	scores := mustScore(scoreGeneralPhase(context.Background(), g, inSub, f, z, cand, o))
 	for i, e := range cand {
 		want := exactTrRedFormula(t, g, inSub, e, shift)
 		if math.Abs(scores[i]-want) > 5e-3*(1+want) {
@@ -465,8 +466,17 @@ func TestGRASSScoresFavorHighResistanceEdges(t *testing.T) {
 		t.Skip("tree picked a shortcut; topology assumption violated")
 	}
 	o := Options{Workers: 1}.withDefaults()
-	scores := scoreTreePhase(g, st, []int{long, short}, o)
+	scores := mustScore(scoreTreePhase(context.Background(), g, st, []int{long, short}, o))
 	if scores[0] <= scores[1] {
 		t.Errorf("long-range edge score %g not above local edge %g", scores[0], scores[1])
 	}
+}
+
+// mustScore unwraps a scoring-phase (scores, error) pair in tests whose
+// contexts are never canceled.
+func mustScore(scores []float64, err error) []float64 {
+	if err != nil {
+		panic(err)
+	}
+	return scores
 }

@@ -7,33 +7,50 @@
 //
 // # Quick start
 //
-//	g := trsparse.Grid2D(300, 300, 1)               // a weighted 2D grid
-//	res, err := trsparse.Sparsify(g, trsparse.Options{})
-//	// res.Sparsifier is an ultra-sparse subgraph spectrally similar to g:
-//	out, err := trsparse.Evaluate(g, trsparse.Options{}, trsparse.EvalOptions{})
-//	fmt.Println(out.Kappa, out.PCGIters)            // κ(L_G, L_P), PCG iters
+// The unit of work is a Sparsifier handle: build it once, measure through
+// it many times. Construction runs the paper's Algorithm 2 and factorizes
+// the result; every method reuses that factorization and honors the
+// context for cancellation.
+//
+//	g := trsparse.Grid2D(300, 300, 1)             // a weighted 2D grid
+//	s, err := trsparse.New(ctx, g,
+//	    trsparse.WithAlpha(0.10),                 // paper defaults shown
+//	    trsparse.WithTolerance(1e-6))
+//	if err != nil { ... }                         // errors.Is: ErrDisconnected, ErrCanceled, ...
+//
+//	sol, err := s.Solve(ctx, b)                   // PCG through the cached factorization
+//	kappa, err := s.CondNumber(ctx)               // κ(L_G, L_P) by generalized Lanczos
+//	trace, err := s.TraceProxy(ctx)               // Tr(L_P⁻¹ L_G), the paper's proxy (eq. 5)
+//	part, err := s.Partition(ctx)                 // spectral bipartition (§4.3)
 //
 // The sparsifier is built per the paper's Algorithm 2: a maximum
 // effective-weight spanning tree, then five rounds of off-subgraph edge
 // recovery ranked by (approximate, truncated) trace reduction of
 // Tr(L_S⁻¹ L_G), with spectrally similar edges excluded per round. Use
-// Options.Method to select the GRASS or feGRASS baselines instead.
+// WithMethod to select the GRASS or feGRASS baselines instead, and
+// WithSparsifierGraph to measure a subgraph you built yourself.
 //
 // For serving workloads, NewEngine wraps the library in a concurrent
-// batch engine with an LRU cache of built sparsifiers keyed by graph
+// batch engine whose LRU cache holds Sparsifier handles keyed by graph
 // fingerprint, so repeated solves against one graph reuse its Cholesky
-// factorization; cmd/trsparsed exposes the engine over HTTP.
+// factorization; cmd/trsparsed exposes the engine over HTTP (/v2/*, with
+// per-request deadlines).
+//
+// The one-shot free functions (Sparsify, SolvePCG, CondNumber, TraceProxy,
+// Fiedler, Evaluate) remain as deprecated wrappers over a throwaway
+// handle; see MIGRATION.md for the v1 → v2 mapping.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for how the
 // benchmark suite regenerates every table and figure of the paper.
 package trsparse
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/solver"
 	"repro/internal/sparsify"
 )
 
@@ -61,12 +78,20 @@ const (
 // Options configures Sparsify; the zero value selects the paper's
 // parameters (α = 10%·|V| recovered edges, N_r = 5 rounds, β = 5,
 // δ = 0.1).
+//
+// Deprecated: pass functional options (WithMethod, WithAlpha,
+// WithRecoveryRounds, ...) to New instead; WithSparsifyOptions bridges an
+// existing Options value.
 type Options = sparsify.Options
 
-// Result is a computed sparsifier plus instrumentation.
+// Result is a computed sparsifier plus instrumentation. Handles built by
+// New expose it via Sparsifier.Result.
 type Result = sparsify.Result
 
 // EvalOptions configures Evaluate's measurements.
+//
+// Deprecated: build a handle with New and call CondNumber/Solve directly;
+// EvalOptions remains for the Table-1 pipeline only.
 type EvalOptions = core.EvalOptions
 
 // Outcome bundles everything the paper's Table 1 reports for one run.
@@ -77,6 +102,10 @@ type Outcome = core.Outcome
 func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
 
 // Sparsify computes a spectral sparsifier of the connected graph g.
+//
+// Deprecated: use New, which additionally prepares the pencil once and
+// returns a cancellable handle; its Result method exposes the same
+// construction result.
 func Sparsify(g *Graph, opts Options) (*Result, error) { return sparsify.Sparsify(g, opts) }
 
 // Evaluate sparsifies g and measures sparsifier quality the way the
@@ -88,69 +117,93 @@ func Evaluate(g *Graph, opts Options, eopts EvalOptions) (*Outcome, error) {
 
 // Pencil is a prepared regularized Laplacian pencil (L_G, L_P): shared
 // shift, assembled Laplacians, and the sparsifier's Cholesky factorization.
-// Build one with NewPencil when issuing repeated measurements against the
-// same (graph, sparsifier) pair; CondNumber/SolvePCG/TraceProxy/Fiedler
-// each prepare a fresh one per call.
+// Handles built by New carry one; access it via Sparsifier.Pencil.
 type Pencil = core.Pencil
 
 // NewPencil prepares the pencil for g preconditioned by sparsifier. Pass
 // Result.Shift as shift when the sparsifier came from Sparsify (nil selects
 // the default regularization).
+//
+// Deprecated: use New (optionally with WithSparsifierGraph), which manages
+// the shift itself and exposes the pencil via Sparsifier.Pencil.
 func NewPencil(g, sparsifier *Graph, shift []float64) (*Pencil, error) {
 	return core.NewPencil(g, sparsifier, shift)
+}
+
+// throwaway builds a single-use handle adopting the given sparsifier
+// subgraph — the shared implementation of the deprecated free functions.
+// Going through the handle buys the v1 surface the v2 validation (vertex
+// counts checked instead of panicking) and a shift consistent between
+// construction and measurement.
+func throwaway(g, sparsifier *Graph, opts ...Option) (*Sparsifier, error) {
+	return New(context.Background(), g, append([]Option{WithSparsifierGraph(sparsifier)}, opts...)...)
 }
 
 // CondNumber estimates the relative condition number κ(L_G, L_P) of a
 // graph and a subgraph sparsifier, using the shared diagonal
 // regularization the paper describes (λmin of the pencil is 1, so κ equals
 // the largest generalized eigenvalue).
+//
+// Deprecated: use New + Sparsifier.CondNumber, which reuses the
+// factorization across calls instead of rebuilding it here every time.
 func CondNumber(g, sparsifier *Graph, seed int64) (float64, error) {
-	p, err := core.NewPencil(g, sparsifier, nil)
+	s, err := throwaway(g, sparsifier)
 	if err != nil {
 		return 0, err
 	}
-	return p.CondNumber(0, seed), nil
+	return s.CondNumberWith(context.Background(), 0, seed)
 }
 
 // SolvePCG solves L_G x = b with PCG preconditioned by the sparsifier's
 // Cholesky factorization, returning the solution and the iteration count.
 // tol is the relative residual tolerance (≤0 selects 1e-6).
+//
+// Deprecated: use New + Sparsifier.Solve — this wrapper rebuilds the
+// factorization on every call, which is exactly the cost the handle
+// amortizes (see BenchmarkSparsifierSolve).
 func SolvePCG(g, sparsifier *Graph, b []float64, tol float64) ([]float64, int, error) {
-	p, err := core.NewPencil(g, sparsifier, nil)
+	s, err := throwaway(g, sparsifier, WithTolerance(tol))
 	if err != nil {
 		return nil, 0, err
 	}
-	x := make([]float64, g.N)
-	r := p.Solve(b, x, solver.Options{Tol: tol})
-	return x, r.Iterations, nil
+	sol, err := s.Solve(context.Background(), b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sol.X, sol.Iterations, nil
 }
 
 // TraceProxy estimates Tr(L_P⁻¹ L_G) — the paper's proxy for the relative
 // condition number (eq. 5) and the quantity Algorithm 2 greedily reduces —
 // with a Hutchinson stochastic estimator (≈30 probes give a few percent
 // accuracy; pass probes ≤ 0 for the default).
+//
+// Deprecated: use New + Sparsifier.TraceProxy.
 func TraceProxy(g, sparsifier *Graph, probes int, seed int64) (float64, error) {
-	p, err := core.NewPencil(g, sparsifier, nil)
+	s, err := throwaway(g, sparsifier)
 	if err != nil {
 		return 0, err
 	}
-	return p.TraceEst(probes, seed), nil
+	return s.TraceProxyWith(context.Background(), probes, seed)
 }
 
 // Fiedler approximates the Fiedler vector of g (the eigenvector of the
 // second-smallest Laplacian eigenvalue) by `steps` rounds of inverse power
 // iteration, solving each inner system with PCG preconditioned by the
 // sparsifier. It is the building block of spectral partitioning (§4.3).
+//
+// Deprecated: use New + Sparsifier.Fiedler (or Sparsifier.Partition for
+// the bipartition itself).
 func Fiedler(g, sparsifier *Graph, steps int, tol float64, seed int64) ([]float64, error) {
-	p, err := core.NewPencil(g, sparsifier, nil)
+	s, err := throwaway(g, sparsifier)
 	if err != nil {
 		return nil, err
 	}
-	return p.Fiedler(steps, tol, seed), nil
+	return s.FiedlerWith(context.Background(), steps, tol, seed)
 }
 
 // Engine is the concurrent serving layer: a bounded worker pool plus an
-// LRU store of built sparsifier artifacts keyed by graph fingerprint, so
+// LRU store of built Sparsifier handles keyed by graph fingerprint, so
 // repeated Solve/Fiedler/CondNumber requests against the same graph reuse
 // the cached Cholesky factorization instead of rebuilding anything.
 // cmd/trsparsed serves an Engine over HTTP.
@@ -163,8 +216,8 @@ type EngineOptions = engine.Options
 // EngineStats is a snapshot of engine cache and job telemetry.
 type EngineStats = engine.Stats
 
-// EngineArtifact is one cached build: the sparsifier subgraph plus the
-// prepared pencil (shift, L_G, L_P, factorization).
+// EngineArtifact is one cached build: a Sparsifier handle plus its
+// fingerprint key and build telemetry.
 type EngineArtifact = engine.Artifact
 
 // NewEngine creates a concurrent sparsification engine.
