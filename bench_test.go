@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/gen"
+	"repro/internal/shard"
 	"repro/internal/sparsify"
 )
 
@@ -262,6 +263,77 @@ func BenchmarkSparsifierSolve(b *testing.B) {
 				b.Fatal("no PCG iterations")
 			}
 		}
+	})
+}
+
+// BenchmarkShardedSparsify is the PR-3 acceptance benchmark: monolithic
+// vs partition-parallel construction of the same large-grid sparsifier
+// with 4 shard workers. Timed region: sparsifier construction only — both
+// paths then hand their subgraph to the identical pencil machinery
+// (assembly + Cholesky of the result), so including that common
+// postprocessing would only dilute the comparison. The resulting PCG
+// iteration count is reported per path (through untimed handles, same
+// right-hand side) so the quality cost of sharding is visible next to
+// the wall-clock win. The sharded path wins twice: each cluster's
+// densification rounds factorize a much smaller Laplacian (Cholesky
+// fill-in is superlinear, so this helps even on one core), and clusters
+// build concurrently on multi-core machines.
+func BenchmarkShardedSparsify(b *testing.B) {
+	ctx := context.Background()
+	// Deliberately NOT scaled by REPRO_BENCH_SCALE: the sharded pipeline
+	// exists for large graphs and its advantage only shows at size.
+	// 600×600 = 360k vertices — far above any reasonable serving
+	// MaxVertices.
+	g := Grid2D(600, 600, 1)
+	rng := rand.New(rand.NewSource(17))
+	rhs := make([]float64, g.N)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	reportQuality := func(b *testing.B, sub *Graph) {
+		b.Helper()
+		s, err := New(ctx, g, WithSparsifierGraph(sub))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := s.Solve(ctx, rhs)
+		if err != nil || !sol.Converged {
+			b.Fatalf("solve: converged=%v err=%v", sol != nil && sol.Converged, err)
+		}
+		b.ReportMetric(float64(sol.Iterations), "pcg-iters")
+	}
+
+	b.Run("monolithic", func(b *testing.B) {
+		var res *Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = sparsify.Sparsify(g, sparsify.Options{Seed: 1, Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportQuality(b, res.Sparsifier)
+	})
+
+	b.Run("sharded", func(b *testing.B) {
+		var res *Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = shard.Sparsify(ctx, g, shard.Options{
+				Threshold: g.N / 32,
+				Sparsify:  sparsify.Options{Seed: 1, Workers: 4},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if res.Shards == nil {
+			b.Fatal("sharded build did not take the sharded path")
+		}
+		b.ReportMetric(float64(res.Shards.Shards), "shards")
+		reportQuality(b, res.Sparsifier)
 	})
 }
 

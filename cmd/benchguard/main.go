@@ -1,0 +1,145 @@
+// Command benchguard compares two `go test -json -bench` output files and
+// fails when a benchmark got slower than an allowed factor. CI runs it
+// after the bench job so a PR that regresses the serving hot path
+// (BenchmarkSparsifierSolve) fails visibly instead of silently shipping
+// the slowdown.
+//
+// Usage:
+//
+//	benchguard -old BENCH_pr2.json -new BENCH_pr3.json \
+//	    -bench 'BenchmarkSparsifierSolve' -max-slowdown 1.25
+//
+// Benchmarks present in only one file are reported but do not fail the
+// run (the set is expected to grow PR over PR); a matched benchmark whose
+// new ns/op exceeds old·max-slowdown fails it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json stream benchguard reads.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches "BenchmarkName-8   	      12	  98765 ns/op ..."
+// (the CPU-count suffix is stripped so runs from different machines
+// compare).
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse extracts benchmark name → ns/op from a test2json stream (or raw
+// `go test -bench` text). test2json splits one terminal line across
+// output events — the benchmark name arrives in its own fragment ending
+// in a tab, the timings in the next — so fragments are reassembled until
+// a newline before matching.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	take := func(line string) {
+		if m := benchLine.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
+				out[m[1]] = ns
+			}
+		}
+	}
+	var frag strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err == nil {
+			if ev.Action != "output" {
+				continue
+			}
+			frag.WriteString(ev.Output)
+			if strings.HasSuffix(ev.Output, "\n") {
+				take(frag.String())
+				frag.Reset()
+			}
+			continue
+		}
+		take(line) // raw `go test -bench` text
+	}
+	take(frag.String()) // unterminated trailing fragment
+	return out, sc.Err()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	oldPath := flag.String("old", "", "baseline bench JSON (test2json stream)")
+	newPath := flag.String("new", "", "candidate bench JSON (test2json stream)")
+	benchRE := flag.String("bench", ".", "regexp of benchmark names the slowdown gate applies to")
+	maxSlowdown := flag.Float64("max-slowdown", 1.25, "fail when new/old ns/op exceeds this for a gated benchmark")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("need -old and -new")
+	}
+	gate, err := regexp.Compile(*benchRE)
+	if err != nil {
+		log.Fatalf("bad -bench regexp: %v", err)
+	}
+
+	oldNS, err := parse(*oldPath)
+	if err != nil {
+		log.Fatalf("parsing %s: %v", *oldPath, err)
+	}
+	newNS, err := parse(*newPath)
+	if err != nil {
+		log.Fatalf("parsing %s: %v", *newPath, err)
+	}
+	if len(oldNS) == 0 {
+		log.Fatalf("no benchmark results in %s", *oldPath)
+	}
+	if len(newNS) == 0 {
+		log.Fatalf("no benchmark results in %s", *newPath)
+	}
+
+	names := make([]string, 0, len(newNS))
+	for name := range newNS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		nv := newNS[name]
+		ov, ok := oldNS[name]
+		if !ok {
+			fmt.Printf("NEW   %-60s %14.0f ns/op (no baseline)\n", name, nv)
+			continue
+		}
+		ratio := nv / ov
+		status := "ok  "
+		if gate.MatchString(name) && ratio > *maxSlowdown {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-60s %14.0f -> %14.0f ns/op  (%.2fx, limit %.2fx)\n",
+			status, name, ov, nv, ratio, *maxSlowdown)
+	}
+	for name := range oldNS {
+		if _, ok := newNS[name]; !ok {
+			fmt.Printf("GONE  %-60s (present in baseline only)\n", name)
+		}
+	}
+	if failed {
+		log.Fatalf("benchmark regression above %.2fx", *maxSlowdown)
+	}
+}

@@ -42,6 +42,8 @@ func main() {
 	delta := flag.Float64("delta", 0.1, "SPAI pruning threshold δ")
 	seed := flag.Int64("seed", 1, "random seed")
 	pcgTol := flag.Float64("rtol", 1e-3, "PCG relative tolerance")
+	shardThreshold := flag.Int("shard-threshold", 0, "build through the sharded pipeline when |V| exceeds this (0 = always monolithic)")
+	shards := flag.Int("shards", 0, "cluster count K for the sharded pipeline (0 = auto from threshold)")
 	flag.Parse()
 
 	if *list {
@@ -94,6 +96,8 @@ func main() {
 		trsparse.WithSeed(*seed),
 		trsparse.WithTolerance(*pcgTol),
 		trsparse.WithMaxIterations(2000),
+		trsparse.WithShardThreshold(*shardThreshold),
+		trsparse.WithShards(*shards),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -125,6 +129,11 @@ func main() {
 	fmt.Printf("method       %v\n", m)
 	fmt.Printf("sparsifier   %d edges (tree %d + recovered %d)\n",
 		s.SparsifierGraph().M(), g.N-1, s.SparsifierGraph().M()-(g.N-1))
+	if st := s.ShardStats(); st != nil {
+		fmt.Printf("sharded      K=%d (plan %v, build %v, stitch %v; cut %d → retained %d + recovered %d; %d BFS fallbacks)\n",
+			st.Shards, st.PlanTime, st.BuildTime, st.StitchTime,
+			st.CutEdges, st.CutRetained, st.CutRecovered, st.FallbackSplits)
+	}
 	fmt.Printf("Ts           %v  (tree %v, scoring %v, factorization %v)\n",
 		res.Stats.Total, res.Stats.TreeTime, res.Stats.ScoreTime, res.Stats.FactorTime)
 	fmt.Printf("kappa        %.4g\n", kappa)

@@ -32,7 +32,10 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "max cached sparsifier artifacts")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job timeout including queue wait (0 disables)")
-	maxVertices := flag.Int("max-vertices", 0, "reject graphs above this vertex count (0 disables)")
+	maxVertices := flag.Int("max-vertices", 0, "vertex bound for a single monolithic build; larger graphs go through the sharded pipeline (0 disables)")
+	hardMaxVertices := flag.Int("hard-max-vertices", 0, "absolute admission cap, sharded path included (0 = 8x max-vertices)")
+	shardThreshold := flag.Int("shard-threshold", 0, "shard graphs above this vertex count even below max-vertices (0 shards only when max-vertices forces it)")
+	shards := flag.Int("shards", 0, "default cluster count K for sharded builds (0 = auto from threshold)")
 	method := flag.String("method", "trace", "sparsification method: trace | grass | fegrass")
 	alpha := flag.Float64("alpha", 0, "fraction of |V| off-tree edges to recover (0 = paper default 0.10)")
 	rounds := flag.Int("rounds", 0, "densification rounds N_r (0 = paper default 5)")
@@ -52,11 +55,14 @@ func main() {
 	}
 
 	eng := engine.New(engine.Options{
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		JobTimeout:  *jobTimeout,
-		MaxVertices: *maxVertices,
-		Sparsify:    sparsify.Options{Method: m, Alpha: *alpha, Rounds: *rounds, Seed: *seed},
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		JobTimeout:      *jobTimeout,
+		MaxVertices:     *maxVertices,
+		HardMaxVertices: *hardMaxVertices,
+		ShardThreshold:  *shardThreshold,
+		Shards:          *shards,
+		Sparsify:        sparsify.Options{Method: m, Alpha: *alpha, Rounds: *rounds, Seed: *seed},
 	})
 
 	srv := &http.Server{

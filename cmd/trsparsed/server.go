@@ -127,6 +127,15 @@ type sparsifyRequest struct {
 	Graph *graphPayload `json:"graph"`
 }
 
+// shardInfo is the response-side summary of a sharded build.
+type shardInfo struct {
+	Shards         int `json:"shards"`
+	CutEdges       int `json:"cut_edges"`
+	CutRetained    int `json:"cut_retained"`
+	CutRecovered   int `json:"cut_recovered"`
+	FallbackSplits int `json:"fallback_splits"`
+}
+
 type sparsifyResponse struct {
 	Key             string       `json:"key"`
 	N               int          `json:"n"`
@@ -135,6 +144,52 @@ type sparsifyResponse struct {
 	EdgeCount       int          `json:"sparsifier_edge_count"`
 	Cached          bool         `json:"cached"`
 	BuildMS         float64      `json:"build_ms"`
+	// Sharded is non-nil when the artifact was built through the
+	// partition-parallel pipeline (?shards=/?shard_threshold=, the
+	// server's -shard-threshold default, or admission above
+	// -max-vertices).
+	Sharded *shardInfo `json:"sharded,omitempty"`
+}
+
+// buildOptsFrom parses the per-request sharding overrides: ?shards=K and
+// ?shard_threshold=N (both optional, both must be non-negative integers;
+// 0 inherits the server default).
+func buildOptsFrom(r *http.Request) (engine.BuildOpts, error) {
+	var bo engine.BuildOpts
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{
+		{"shards", &bo.Shards},
+		{"shard_threshold", &bo.ShardThreshold},
+	} {
+		raw := r.URL.Query().Get(p.name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			return bo, fmt.Errorf("invalid %s %q (want a non-negative integer)", p.name, raw)
+		}
+		*p.dst = v
+	}
+	return bo, nil
+}
+
+// shardInfoOf extracts the response summary from a (possibly sharded)
+// artifact.
+func shardInfoOf(art *engine.Artifact) *shardInfo {
+	st := art.Handle.ShardStats()
+	if st == nil {
+		return nil
+	}
+	return &shardInfo{
+		Shards:         st.Shards,
+		CutEdges:       st.CutEdges,
+		CutRetained:    st.CutRetained,
+		CutRecovered:   st.CutRecovered,
+		FallbackSplits: st.FallbackSplits,
+	}
 }
 
 // isMatrixMarket reports whether the request body is a Matrix Market file
@@ -172,12 +227,17 @@ func (s *server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	bo, err := buildOptsFrom(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	g, err := s.readGraph(w, r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	art, cached, err := s.eng.Sparsify(ctx, g)
+	art, cached, err := s.eng.SparsifyWith(ctx, g, bo)
 	if err != nil {
 		writeErr(w, statusOf(err), err)
 		return
@@ -189,6 +249,7 @@ func (s *server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 		EdgeCount: art.SparsifierGraph().M(),
 		Cached:    cached,
 		BuildMS:   float64(art.BuildTime) / float64(time.Millisecond),
+		Sharded:   shardInfoOf(art),
 	}
 	// ?edges=false skips materializing the sparsifier edge list — for
 	// clients that only want the key for later /v1/solve calls, rendering

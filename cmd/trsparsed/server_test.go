@@ -456,18 +456,117 @@ func TestV2StructuredErrorCodes(t *testing.T) {
 	}
 }
 
-// TestV2MaxVerticesAdmission: the -max-vertices admission limit surfaces
-// as 413 / "too_large".
+// TestV2MaxVerticesAdmission: -max-vertices no longer rejects outright —
+// graphs above it are served through the sharded pipeline — but the hard
+// cap (8x by default, or -hard-max-vertices) still surfaces as 413 /
+// "too_large".
 func TestV2MaxVerticesAdmission(t *testing.T) {
 	eng := engine.New(engine.Options{Workers: 2, CacheSize: 2, MaxVertices: 50})
 	ts := httptest.NewServer(newServer(eng).handler())
 	t.Cleanup(ts.Close)
-	g := gen.Grid2D(10, 10, 1) // 100 vertices > 50
+	g := gen.Grid2D(25, 25, 1) // 625 vertices > 8·50 hard cap
 	var e errorResponse
 	if resp := postJSON(t, ts.URL+"/v2/sparsify", graphRequest(g), &e); resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized graph status = %d, want 413", resp.StatusCode)
 	}
 	if e.Code != "too_large" {
 		t.Fatalf("oversized graph code = %q", e.Code)
+	}
+}
+
+// TestV2ShardedAdmissionEndToEnd is the PR's acceptance scenario: a graph
+// larger than the engine's MaxVertices — rejected with too_large in PR 2 —
+// is now served end-to-end through /v2/sparsify via the sharded path, and
+// a subsequent /v2/solve against the returned key converges.
+func TestV2ShardedAdmissionEndToEnd(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 4, CacheSize: 4, MaxVertices: 500})
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+	g := gen.Grid2D(40, 40, 1) // 1600 vertices: above 500, below the 4000 hard cap
+
+	var sp sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify?edges=false", graphRequest(g), &sp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sparsify status = %d, want 200", resp.StatusCode)
+	}
+	if sp.Sharded == nil {
+		t.Fatal("response has no sharded block for an above-limit graph")
+	}
+	if sp.Sharded.Shards < 4 {
+		t.Fatalf("shards = %d, want ≥ 4 at threshold 500 for 1600 vertices", sp.Sharded.Shards)
+	}
+	if sp.Sharded.CutRetained < sp.Sharded.Shards-1 {
+		t.Fatalf("cut_retained = %d < K-1 = %d", sp.Sharded.CutRetained, sp.Sharded.Shards-1)
+	}
+
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = signOf(i)
+	}
+	var sol solveResponse
+	if resp := postJSON(t, ts.URL+"/v2/solve", solveRequest{Key: sp.Key, B: b}, &sol); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d, want 200", resp.StatusCode)
+	}
+	if !sol.Converged {
+		t.Fatalf("solve through the sharded artifact did not converge (relres %g)", sol.RelRes)
+	}
+
+	// /v2/stats reports the sharded build and the derived percentiles.
+	resp, err := http.Get(ts.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardedBuilds != 1 || st.ShardsBuilt < 4 {
+		t.Fatalf("stats: sharded_builds=%d shards_built=%d", st.ShardedBuilds, st.ShardsBuilt)
+	}
+	if st.P50LatencyMS <= 0 || st.P99LatencyMS < st.P50LatencyMS {
+		t.Fatalf("stats percentiles: p50=%g p99=%g", st.P50LatencyMS, st.P99LatencyMS)
+	}
+}
+
+// TestV2SparsifyShardParams: per-request ?shards=/?shard_threshold=
+// overrides shard a graph the server defaults would build monolithically,
+// and malformed values are rejected up front.
+func TestV2SparsifyShardParams(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(30, 30, 2) // 900 vertices, monolithic by default
+
+	var mono sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify?edges=false", graphRequest(g), &mono); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default sparsify status = %d", resp.StatusCode)
+	}
+	if mono.Sharded != nil {
+		t.Fatal("default build unexpectedly sharded")
+	}
+
+	var sharded sparsifyResponse
+	url := ts.URL + "/v2/sparsify?edges=false&shard_threshold=200&shards=4"
+	if resp := postJSON(t, url, graphRequest(g), &sharded); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded sparsify status = %d", resp.StatusCode)
+	}
+	if sharded.Sharded == nil || sharded.Sharded.Shards < 4 {
+		t.Fatalf("sharded block = %+v, want ≥ 4 shards", sharded.Sharded)
+	}
+	if sharded.Key == mono.Key {
+		t.Fatal("sharded and monolithic artifacts share a key")
+	}
+	if !sharded.Cached {
+		// Re-request with the identical override: must hit the cache.
+		var again sparsifyResponse
+		if resp := postJSON(t, url, graphRequest(g), &again); resp.StatusCode != http.StatusOK || !again.Cached {
+			t.Fatalf("repeat sharded request: status=%d cached=%v", resp.StatusCode, again.Cached)
+		}
+	}
+
+	var e errorResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify?shards=-1", graphRequest(g), &e); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative shards status = %d, want 400", resp.StatusCode)
+	}
+	if e.Code != "invalid_request" {
+		t.Fatalf("negative shards code = %q", e.Code)
 	}
 }

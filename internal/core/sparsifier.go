@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/shard"
 	"repro/internal/solver"
 	"repro/internal/sparsify"
 )
@@ -48,6 +49,17 @@ type Config struct {
 	// (ErrTooLarge); 0 disables the limit. Serving deployments use it to
 	// bound per-request memory.
 	MaxVertices int
+	// ShardThreshold routes graphs with more vertices through the
+	// partition-parallel sharded pipeline (internal/shard): the graph is
+	// recursively bipartitioned into balanced clusters, each cluster is
+	// sparsified concurrently, and the pieces are stitched with a cut-edge
+	// spanning forest plus one global trace-reduction recovery round.
+	// 0 disables sharding (every graph builds monolithically). Ignored
+	// when Prebuilt is set.
+	ShardThreshold int
+	// Shards is the cluster count K for the sharded pipeline (0 derives
+	// K from ShardThreshold: ceil(N/ShardThreshold)).
+	Shards int
 	// CheckEvery is the cancellation poll cadence in PCG iterations
 	// (default solver.DefaultCheckEvery).
 	CheckEvery int
@@ -137,7 +149,17 @@ func NewSparsifier(ctx context.Context, g *graph.Graph, cfg Config) (*Sparsifier
 		// No Result to carry a shift from; NewPencil computes the same
 		// default the construction path would have used.
 	} else {
-		res, err := sparsify.SparsifyContext(ctx, g, cfg.Sparsify)
+		var res *sparsify.Result
+		var err error
+		if cfg.ShardThreshold > 0 && g.N > cfg.ShardThreshold {
+			res, err = shard.Sparsify(ctx, g, shard.Options{
+				Shards:    cfg.Shards,
+				Threshold: cfg.ShardThreshold,
+				Sparsify:  cfg.Sparsify,
+			})
+		} else {
+			res, err = sparsify.SparsifyContext(ctx, g, cfg.Sparsify)
+		}
 		if err != nil {
 			return nil, wrapCanceled(err)
 		}
@@ -324,6 +346,21 @@ func (s *Sparsifier) SparsifierGraph() *graph.Graph { return s.sub }
 // membership, timing stats); nil when the handle was built from a prebuilt
 // subgraph.
 func (s *Sparsifier) Result() *sparsify.Result { return s.res }
+
+// ShardStats returns the per-shard build telemetry when the handle was
+// constructed through the sharded pipeline (Config.ShardThreshold
+// exceeded); nil for monolithic or prebuilt handles. The stats survive
+// Compact.
+func (s *Sparsifier) ShardStats() *sparsify.ShardStats {
+	if s.res == nil {
+		return nil
+	}
+	return s.res.Shards
+}
+
+// Sharded reports whether the handle was built through the sharded
+// pipeline.
+func (s *Sparsifier) Sharded() bool { return s.ShardStats() != nil }
 
 // Pencil returns the prepared pencil for callers needing the raw
 // factorization (e.g. custom measurement loops).

@@ -21,12 +21,19 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/shard"
 	"repro/internal/sparsify"
 )
 
 // DefaultCacheSize is the artifact-store capacity when Options.CacheSize
 // is unset.
 const DefaultCacheSize = 64
+
+// DefaultHardCapFactor scales Options.MaxVertices into the hard admission
+// cap when Options.HardMaxVertices is unset: graphs between MaxVertices
+// and HardCapFactor·MaxVertices are admitted through the sharded pipeline
+// instead of being rejected.
+const DefaultHardCapFactor = 8
 
 // ErrInternal marks failures that are engine faults (recovered panics)
 // rather than problems with the caller's input; servers should map it to
@@ -48,10 +55,28 @@ type Options struct {
 	// Sparsify configures how artifacts are built (zero value = the
 	// paper's parameters).
 	Sparsify sparsify.Options
-	// MaxVertices rejects graphs above this vertex count at admission
-	// (core.ErrTooLarge); 0 disables the limit. Serving deployments use
-	// it to bound per-request memory.
+	// MaxVertices bounds the monolithic build path: graphs above this
+	// vertex count are admitted through the sharded pipeline instead of
+	// being built in one piece (they were rejected outright before the
+	// sharded path existed). 0 disables the limit. Note the bound covers
+	// per-cluster construction only — a sharded build still assembles and
+	// factorizes the full stitched sparsifier's pencil once for the
+	// solve handle, so deployments sizing memory strictly by MaxVertices
+	// should set HardMaxVertices to taste (it defaults to 8x).
 	MaxVertices int
+	// HardMaxVertices is the absolute admission cap: graphs above it are
+	// rejected with core.ErrTooLarge even for the sharded path. 0 derives
+	// DefaultHardCapFactor·MaxVertices (or no cap when MaxVertices is
+	// also 0). It bounds the one whole-graph cost a sharded build keeps:
+	// the stitched pencil factorization.
+	HardMaxVertices int
+	// ShardThreshold routes graphs with more vertices through the
+	// partition-parallel sharded pipeline even below MaxVertices
+	// (0 shards only when MaxVertices forces it). See core.Config.
+	ShardThreshold int
+	// Shards is the default cluster count K for sharded builds (0 = auto
+	// from the effective threshold).
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -121,11 +146,88 @@ func (e *Engine) Lookup(key string) (*Artifact, bool) {
 	return art, ok
 }
 
-// Sparsify returns the artifact for g, building it on the pool if absent.
-// The boolean reports whether the artifact came straight from the cache.
-func (e *Engine) Sparsify(ctx context.Context, g *graph.Graph) (*Artifact, bool, error) {
-	fp := FingerprintGraph(g)
+// BuildOpts are per-request overrides of the engine's sharding defaults
+// (the HTTP layer maps ?shards= and ?shard_threshold= onto them). Zero
+// values inherit the engine configuration. Overrides participate in the
+// artifact identity: the same graph sharded differently is a different
+// artifact, so the store key and the build singleflight both incorporate
+// the effective shard configuration.
+type BuildOpts struct {
+	ShardThreshold int
+	Shards         int
+}
+
+// resolveBuild computes the effective core configuration, the store key,
+// and the admission decision for one build request.
+func (e *Engine) resolveBuild(g *graph.Graph, fp Fingerprint, bo BuildOpts) (core.Config, string, error) {
+	threshold := bo.ShardThreshold
+	if threshold <= 0 {
+		threshold = e.opts.ShardThreshold
+	}
+	shards := bo.Shards
+	if shards <= 0 {
+		shards = e.opts.Shards
+	}
+	hard := e.opts.HardMaxVertices
+	if hard <= 0 && e.opts.MaxVertices > 0 {
+		hard = DefaultHardCapFactor * e.opts.MaxVertices
+	}
+	if hard > 0 && g.N > hard {
+		// Report the effective values: hard may come from HardMaxVertices
+		// directly rather than the DefaultHardCapFactor derivation.
+		detail := ""
+		if e.opts.MaxVertices > 0 && e.opts.MaxVertices < hard {
+			detail = fmt.Sprintf(" (graphs between %d and %d are served via the sharded pipeline)",
+				e.opts.MaxVertices, hard)
+		}
+		return core.Config{}, "", fmt.Errorf(
+			"%w: graph has %d vertices, hard admission cap is %d%s",
+			core.ErrTooLarge, g.N, hard, detail)
+	}
+	// A graph too large for one monolithic factorization job is admitted
+	// through the sharded pipeline: clamp the threshold so no single
+	// cluster build exceeds the per-job bound.
+	if e.opts.MaxVertices > 0 && g.N > e.opts.MaxVertices {
+		if threshold <= 0 || threshold > e.opts.MaxVertices {
+			threshold = e.opts.MaxVertices
+		}
+	}
+	cfg := core.Config{
+		Sparsify:       e.opts.Sparsify,
+		MaxVertices:    hard,
+		ShardThreshold: threshold,
+		Shards:         shards,
+	}
 	key := fp.Key()
+	if threshold > 0 && g.N > threshold {
+		// Shard configuration is part of the artifact identity; the plain
+		// key stays reserved for monolithic builds so default traffic
+		// keeps hitting the same cache entries as before. K is resolved
+		// before it enters the key (and the config), so an auto-K request
+		// and an explicit one resolving to the same K coalesce onto one
+		// artifact instead of building the identical plan twice.
+		resolved := shard.ResolveShards(g.N, e.opts.Workers,
+			shard.Options{Shards: shards, Threshold: threshold})
+		cfg.Shards = resolved
+		key = fmt.Sprintf("%s-st%d-k%d", key, threshold, resolved)
+	}
+	return cfg, key, nil
+}
+
+// Sparsify returns the artifact for g under the engine's default build
+// configuration, building it on the pool if absent. The boolean reports
+// whether the artifact came straight from the cache.
+func (e *Engine) Sparsify(ctx context.Context, g *graph.Graph) (*Artifact, bool, error) {
+	return e.SparsifyWith(ctx, g, BuildOpts{})
+}
+
+// SparsifyWith is Sparsify with per-request sharding overrides.
+func (e *Engine) SparsifyWith(ctx context.Context, g *graph.Graph, bo BuildOpts) (*Artifact, bool, error) {
+	fp := FingerprintGraph(g)
+	cfg, key, err := e.resolveBuild(g, fp, bo)
+	if err != nil {
+		return nil, false, err
+	}
 	if art, ok := e.store.Get(key); ok {
 		e.c.hits.Add(1)
 		return art, true, nil
@@ -157,7 +259,7 @@ func (e *Engine) Sparsify(ctx context.Context, g *graph.Graph) (*Artifact, bool,
 		}
 		c = &buildCall{done: make(chan struct{})}
 		e.building[key] = c
-		go e.build(g, fp, c)
+		go e.build(g, fp, key, cfg, c)
 	}
 	e.mu.Unlock()
 	e.c.misses.Add(1)
@@ -179,7 +281,7 @@ func (e *Engine) Sparsify(ctx context.Context, g *graph.Graph) (*Artifact, bool,
 // once started, the build completes and fills the cache even if every
 // waiter timed out — the work is already paid for and the next request for
 // this graph becomes a hit.
-func (e *Engine) build(g *graph.Graph, fp Fingerprint, c *buildCall) {
+func (e *Engine) build(g *graph.Graph, fp Fingerprint, key string, cfg core.Config, c *buildCall) {
 	enqueued := time.Now()
 	e.sem <- struct{}{}
 	e.c.jobs.Add(1)
@@ -190,7 +292,7 @@ func (e *Engine) build(g *graph.Graph, fp Fingerprint, c *buildCall) {
 		e.c.inFlight.Add(-1)
 		<-e.sem
 		e.mu.Lock()
-		delete(e.building, fp.Key())
+		delete(e.building, key)
 		e.mu.Unlock()
 		close(c.done)
 	}()
@@ -201,19 +303,16 @@ func (e *Engine) build(g *graph.Graph, fp Fingerprint, c *buildCall) {
 	defer func() {
 		if p := recover(); p != nil {
 			e.c.jobErrors.Add(1)
-			c.err = fmt.Errorf("engine: building %s panicked: %v (%w)", fp.Key(), p, ErrInternal)
+			c.err = fmt.Errorf("engine: building %s panicked: %v (%w)", key, p, ErrInternal)
 		}
 	}()
 
 	// The build deliberately runs under context.Background(): detachment
 	// from the waiters' contexts is the whole point (see above).
-	h, err := core.NewSparsifier(context.Background(), g, core.Config{
-		Sparsify:    e.opts.Sparsify,
-		MaxVertices: e.opts.MaxVertices,
-	})
+	h, err := core.NewSparsifier(context.Background(), g, cfg)
 	if err != nil {
 		e.c.jobErrors.Add(1)
-		c.err = fmt.Errorf("engine: building %s: %w", fp.Key(), err)
+		c.err = fmt.Errorf("engine: building %s: %w", key, err)
 		return
 	}
 	// Drop construction scaffolding before publishing: the store's
@@ -221,9 +320,13 @@ func (e *Engine) build(g *graph.Graph, fp Fingerprint, c *buildCall) {
 	// Result would otherwise pin the whole input graph per cached entry.
 	h.Compact()
 	e.c.builds.Add(1)
+	if st := h.ShardStats(); st != nil {
+		e.c.shardedBuilds.Add(1)
+		e.c.shardsBuilt.Add(int64(st.Shards))
+	}
 	c.art = &Artifact{
 		Fingerprint: fp,
-		Key:         fp.Key(),
+		Key:         key,
 		Handle:      h,
 		BuiltAt:     start,
 		BuildTime:   time.Since(start),

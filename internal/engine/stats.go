@@ -45,14 +45,61 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`
 	CacheLen  int   `json:"cache_len"`
 	CacheCap  int   `json:"cache_cap"`
+	// Sharded-pipeline behaviour: how many builds went through the
+	// partition-parallel path, and the total cluster count they produced.
+	ShardedBuilds int64 `json:"sharded_builds"`
+	ShardsBuilt   int64 `json:"shards_built"`
 	// Job behaviour.
 	Jobs      int64 `json:"jobs_total"`
 	InFlight  int64 `json:"jobs_in_flight"`
 	Timeouts  int64 `json:"job_timeouts"`
 	JobErrors int64 `json:"job_errors"`
-	// Latency of completed jobs (queue wait + work).
+	// Latency of completed jobs (queue wait + work). The percentiles are
+	// derived from the histogram by linear interpolation inside the
+	// containing bucket, so operators don't have to re-derive them
+	// client-side; observations landing in the +Inf bucket clamp to the
+	// largest finite bound.
 	MeanLatencyMS float64         `json:"mean_latency_ms"`
+	P50LatencyMS  float64         `json:"p50_latency_ms"`
+	P95LatencyMS  float64         `json:"p95_latency_ms"`
+	P99LatencyMS  float64         `json:"p99_latency_ms"`
 	Latency       []LatencyBucket `json:"latency_histogram"`
+}
+
+// percentile estimates the q-quantile (0 < q < 1) in milliseconds from
+// the bucket counts, interpolating linearly within the containing bucket.
+func percentile(counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latencyBucketsMS[i-1]
+		}
+		if i >= len(latencyBucketsMS) {
+			// +Inf bucket: no finite upper bound to interpolate toward.
+			return latencyBucketsMS[len(latencyBucketsMS)-1]
+		}
+		hi := latencyBucketsMS[i]
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return latencyBucketsMS[len(latencyBucketsMS)-1]
 }
 
 // HitRate returns the cache hit fraction (0 when no lookups happened).
@@ -66,35 +113,44 @@ func (s Stats) HitRate() float64 {
 
 // counters aggregates the engine's mutable telemetry.
 type counters struct {
-	hits      atomic.Int64
-	misses    atomic.Int64
-	builds    atomic.Int64
-	jobs      atomic.Int64
-	inFlight  atomic.Int64
-	timeouts  atomic.Int64
-	jobErrors atomic.Int64
-	latency   histogram
+	hits          atomic.Int64
+	misses        atomic.Int64
+	builds        atomic.Int64
+	shardedBuilds atomic.Int64
+	shardsBuilt   atomic.Int64
+	jobs          atomic.Int64
+	inFlight      atomic.Int64
+	timeouts      atomic.Int64
+	jobErrors     atomic.Int64
+	latency       histogram
 }
 
 func (c *counters) snapshot() Stats {
 	s := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Builds:    c.builds.Load(),
-		Jobs:      c.jobs.Load(),
-		InFlight:  c.inFlight.Load(),
-		Timeouts:  c.timeouts.Load(),
-		JobErrors: c.jobErrors.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Builds:        c.builds.Load(),
+		ShardedBuilds: c.shardedBuilds.Load(),
+		ShardsBuilt:   c.shardsBuilt.Load(),
+		Jobs:          c.jobs.Load(),
+		InFlight:      c.inFlight.Load(),
+		Timeouts:      c.timeouts.Load(),
+		JobErrors:     c.jobErrors.Load(),
 	}
+	counts := make([]int64, len(c.latency.counts))
 	for i := range c.latency.counts {
 		le := -1.0 // +Inf bucket
 		if i < len(latencyBucketsMS) {
 			le = latencyBucketsMS[i]
 		}
-		s.Latency = append(s.Latency, LatencyBucket{LE: le, Count: c.latency.counts[i].Load()})
+		counts[i] = c.latency.counts[i].Load()
+		s.Latency = append(s.Latency, LatencyBucket{LE: le, Count: counts[i]})
 	}
 	if n := c.latency.n.Load(); n > 0 {
 		s.MeanLatencyMS = float64(c.latency.sumNS.Load()) / float64(n) / float64(time.Millisecond)
 	}
+	s.P50LatencyMS = percentile(counts, 0.50)
+	s.P95LatencyMS = percentile(counts, 0.95)
+	s.P99LatencyMS = percentile(counts, 0.99)
 	return s
 }

@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Edge is one weighted undirected edge. U < V is not required but builders
@@ -31,12 +32,40 @@ type Graph struct {
 	AdjEdge   []int // length 2*len(Edges); index into Edges
 }
 
+// dedupSortThreshold is the input size above which New switches from the
+// map-based duplicate merge to the sort-based merge. Per-edge map inserts
+// are an allocation hot spot when building million-edge graphs — and the
+// sharded pipeline rebuilds a local graph per cluster, so every shard
+// build used to pay it; sorting a flat slice touches no per-edge heap
+// state. Below the threshold the map wins on constant factors and
+// preserves first-occurrence edge order, which tests rely on.
+const dedupSortThreshold = 4096
+
 // New builds a graph from an edge list. Self loops are rejected; duplicate
 // edges are merged by summing weights; non-positive weights are rejected.
+// For inputs above dedupSortThreshold edges, the merged edge list is in
+// sorted (U, V) order rather than first-occurrence order; callers must
+// not rely on either ordering.
 func New(n int, edges []Edge) (*Graph, error) {
-	seen := make(map[[2]int]int, len(edges))
-	merged := make([]Edge, 0, len(edges))
-	for _, e := range edges {
+	norm, err := normalize(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	var merged []Edge
+	if len(norm) > dedupSortThreshold {
+		merged = mergeSorted(norm)
+	} else {
+		merged = mergeMap(norm)
+	}
+	g := &Graph{N: n, Edges: merged}
+	g.buildAdjacency()
+	return g, nil
+}
+
+// normalize validates every edge and returns a copy with U ≤ V.
+func normalize(n int, edges []Edge) ([]Edge, error) {
+	norm := make([]Edge, len(edges))
+	for i, e := range edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
 			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n)
 		}
@@ -46,21 +75,61 @@ func New(n int, edges []Edge) (*Graph, error) {
 		if e.W <= 0 || math.IsNaN(e.W) || math.IsInf(e.W, 0) {
 			return nil, fmt.Errorf("graph: edge (%d,%d) has invalid weight %g", e.U, e.V, e.W)
 		}
-		u, v := e.U, e.V
-		if u > v {
-			u, v = v, u
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
 		}
-		key := [2]int{u, v}
+		norm[i] = e
+	}
+	return norm, nil
+}
+
+// mergeMap deduplicates normalized edges with a hash map, preserving
+// first-occurrence order.
+func mergeMap(norm []Edge) []Edge {
+	seen := make(map[[2]int]int, len(norm))
+	merged := norm[:0]
+	for _, e := range norm {
+		key := [2]int{e.U, e.V}
 		if idx, ok := seen[key]; ok {
 			merged[idx].W += e.W
 			continue
 		}
 		seen[key] = len(merged)
-		merged = append(merged, Edge{U: u, V: v, W: e.W})
+		merged = append(merged, e)
 	}
-	g := &Graph{N: n, Edges: merged}
+	return merged
+}
+
+// mergeSorted deduplicates normalized edges by sorting on (U, V) and
+// summing adjacent runs in place — no per-edge map allocations.
+func mergeSorted(norm []Edge) []Edge {
+	sort.Slice(norm, func(a, b int) bool {
+		if norm[a].U != norm[b].U {
+			return norm[a].U < norm[b].U
+		}
+		return norm[a].V < norm[b].V
+	})
+	merged := norm[:0]
+	for _, e := range norm {
+		if k := len(merged); k > 0 && merged[k-1].U == e.U && merged[k-1].V == e.V {
+			merged[k-1].W += e.W
+			continue
+		}
+		merged = append(merged, e)
+	}
+	return merged
+}
+
+// FromNormalized builds a graph from edges that are already valid,
+// normalized (U < V), and free of duplicates — no validation, no merge,
+// and the edge order is preserved exactly, so parallel arrays indexed by
+// edge position stay aligned. Callers own the contract; the sharded
+// pipeline uses it for cluster subgraphs whose edges are copied from an
+// already-validated parent graph.
+func FromNormalized(n int, edges []Edge) *Graph {
+	g := &Graph{N: n, Edges: edges}
 	g.buildAdjacency()
-	return g, nil
+	return g
 }
 
 // MustNew is New but panics on error; for tests and generators whose inputs

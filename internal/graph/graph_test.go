@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -182,5 +183,88 @@ func TestAdjacencyConsistencyQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSortMergeMatchesMapMerge: above dedupSortThreshold New switches to
+// the sort-based merge; the resulting graph must agree with the map-based
+// path on the merged edge set and summed weights (order aside).
+func TestSortMergeMatchesMapMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 300
+	raw := make([]Edge, 0, dedupSortThreshold+512)
+	for len(raw) < dedupSortThreshold+512 {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		raw = append(raw, Edge{U: u, V: v, W: 1 + rng.Float64()})
+	}
+	big, err := New(n, raw) // sort-based path
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := normalize(n, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mergeMap(norm) // map path on the same input
+	if big.M() != len(want) {
+		t.Fatalf("sort path merged to %d edges, map path to %d", big.M(), len(want))
+	}
+	wantW := make(map[[2]int]float64, len(want))
+	for _, e := range want {
+		wantW[[2]int{e.U, e.V}] = e.W
+	}
+	for _, e := range big.Edges {
+		w, ok := wantW[[2]int{e.U, e.V}]
+		if !ok {
+			t.Fatalf("edge (%d,%d) missing from map-path result", e.U, e.V)
+		}
+		if diff := math.Abs(w - e.W); diff > 1e-12*math.Abs(w) {
+			t.Fatalf("edge (%d,%d): sort path weight %g, map path %g", e.U, e.V, e.W, w)
+		}
+	}
+	// Sorted output contract: normalized and strictly increasing (U, V).
+	for i := 1; i < len(big.Edges); i++ {
+		a, b := big.Edges[i-1], big.Edges[i]
+		if a.U > b.U || (a.U == b.U && a.V >= b.V) {
+			t.Fatalf("edges %d,%d out of order: (%d,%d) then (%d,%d)", i-1, i, a.U, a.V, b.U, b.V)
+		}
+	}
+}
+
+// TestSortMergeValidation: the large-input path rejects the same bad
+// edges as the small one.
+func TestSortMergeValidation(t *testing.T) {
+	edges := make([]Edge, dedupSortThreshold+1)
+	for i := range edges {
+		edges[i] = Edge{U: 0, V: 1, W: 1}
+	}
+	edges[dedupSortThreshold] = Edge{U: 5, V: 5, W: 1}
+	if _, err := New(6, edges); err == nil {
+		t.Fatal("self loop accepted on the sort-merge path")
+	}
+}
+
+// BenchmarkNewLargeDedup is the satellite's motivating measurement: the
+// per-edge map insert the sort-based merge removes.
+func BenchmarkNewLargeDedup(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	n := 100000
+	edges := make([]Edge, 400000)
+	for i := range edges {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			v = (u + 1) % n
+		}
+		edges[i] = Edge{U: u, V: v, W: 1 + rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(n, edges); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dsu"
+	"repro/internal/graph"
+	"repro/internal/lap"
+	"repro/internal/sparsify"
+)
+
+// tinyClusterEdges is the local edge count below which a cluster is kept
+// whole instead of sparsified: on a handful of edges the spanning tree IS
+// most of the graph and the scoring machinery costs more than it removes.
+const tinyClusterEdges = 32
+
+// Sparsify plans and runs the sharded pipeline in one call — the
+// large-graph counterpart of sparsify.SparsifyContext, returning the same
+// Result shape (with Result.Shards telemetry attached).
+func Sparsify(ctx context.Context, g *graph.Graph, opts Options) (*sparsify.Result, error) {
+	plan, err := NewPlan(ctx, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Run(ctx, g, plan, opts)
+}
+
+// Run sparsifies every cluster of the plan concurrently on a bounded
+// worker pool and stitches the results:
+//
+//  1. every intra-cluster sparsifier edge survives;
+//  2. a maximum-weight spanning forest of the cut edges is retained, so
+//     the stitched subgraph is connected (each per-cluster sparsifier is
+//     connected, and the forest connects the cluster quotient graph);
+//  3. the remaining cut edges are re-scored with the truncated
+//     trace-reduction metric (eq. 20) against the stitched subgraph in
+//     one global recovery round, and the best are re-admitted.
+func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsify.Result, error) {
+	if plan == nil || plan.K < 1 {
+		return nil, fmt.Errorf("shard: empty plan")
+	}
+	o := opts.Sparsify
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > plan.K {
+		workers = plan.K
+	}
+
+	buildStart := time.Now()
+	inSub := make([]bool, g.M())
+	perShard := make([]sparsify.ShardBuild, plan.K)
+	phases := make([]sparsify.Stats, plan.K)
+	errs := make([]error, plan.K)
+
+	// Each worker owns the clusters it pulls; the per-cluster option set
+	// pins Workers to 1 so parallelism lives at the cluster level only
+	// (nested scoring pools would oversubscribe and thrash scratch space).
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range next {
+				errs[ci] = sparsifyCluster(ctx, &plan.Clusters[ci], ci, inSub, &perShard[ci], &phases[ci], o)
+			}
+		}()
+	}
+	for ci := range plan.Clusters {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	buildTime := time.Since(buildStart)
+
+	// Stitch. The cut edges' spanning structure first: a maximum-weight
+	// spanning forest of the cut-edge graph over the *vertices* (by
+	// descending weight, the same preference MEWST applies inside a
+	// cluster). This is deliberately denser than a forest over the
+	// cluster quotient: a long seam between two clusters keeps roughly
+	// one crossing per boundary component — the crossing density a global
+	// spanning tree would have had — instead of a single bridge carrying
+	// the whole seam's current. Every skipped cut edge has both endpoints
+	// already connected through retained cut edges, and each cluster's
+	// sparsifier is internally connected, so the stitched subgraph is
+	// connected.
+	stitchStart := time.Now()
+	cut := append([]int(nil), plan.CutEdges...)
+	sort.Slice(cut, func(a, b int) bool {
+		if g.Edges[cut[a]].W != g.Edges[cut[b]].W {
+			return g.Edges[cut[a]].W > g.Edges[cut[b]].W
+		}
+		return cut[a] < cut[b] // deterministic tie-break
+	})
+	d := dsu.New(g.N)
+	retained := 0
+	remaining := make([]int, 0, len(cut))
+	for _, e := range cut {
+		ed := g.Edges[e]
+		if d.Union(ed.U, ed.V) {
+			inSub[e] = true
+			retained++
+		} else {
+			remaining = append(remaining, e)
+		}
+	}
+
+	// Global recovery round over the remaining cut edges. The quota keeps
+	// the stitched size comparable to a monolithic build: the per-cluster
+	// runs already spent ≈ α·Σn_c = α·N, so the boundary gets the same
+	// α fraction of its own candidate pool (at least one edge per planned
+	// bridge, so thin cuts still get reinforced).
+	alpha := o.Alpha
+	if alpha <= 0 {
+		alpha = 0.10
+	}
+	quota := int(alpha * float64(len(plan.CutEdges)))
+	if quota < plan.K {
+		quota = plan.K
+	}
+	var recovered int
+	if len(remaining) <= quota {
+		// Selection only matters when the candidate pool exceeds the
+		// budget; factorizing the whole stitched subgraph to rank a pool
+		// that fits the quota anyway would be the single most expensive
+		// no-op in the pipeline (grid-like graphs land here: the cut
+		// forest already retained almost every seam edge).
+		for _, e := range remaining {
+			inSub[e] = true
+		}
+		recovered = len(remaining)
+	} else {
+		var err error
+		recovered, err = sparsify.RecoverOffSubgraph(ctx, g, inSub, remaining, quota, o)
+		if err != nil {
+			return nil, err
+		}
+	}
+	stitchTime := time.Since(stitchStart)
+
+	res := &sparsify.Result{
+		InSub: inSub,
+		Shift: lap.Shift(g, o.ShiftRel),
+		Shards: &sparsify.ShardStats{
+			Shards:         plan.K,
+			FallbackSplits: plan.FallbackSplits,
+			CutEdges:       len(plan.CutEdges),
+			CutRetained:    retained,
+			CutRecovered:   recovered,
+			PlanTime:       plan.PlanTime,
+			BuildTime:      buildTime,
+			StitchTime:     stitchTime,
+			PerShard:       perShard,
+		},
+	}
+	for e, in := range inSub {
+		if in {
+			res.EdgeIdx = append(res.EdgeIdx, e)
+		}
+	}
+	res.Sparsifier = g.Subgraph(res.EdgeIdx)
+	res.Stats.Total = plan.PlanTime + buildTime + stitchTime
+	res.Stats.EdgesAdded = len(res.EdgeIdx) - (g.N - 1)
+	// Phase times aggregate CPU across clusters (they exceed the wall
+	// clock when clusters built concurrently); Rounds reports the deepest
+	// cluster's densification depth.
+	for _, ph := range phases {
+		res.Stats.TreeTime += ph.TreeTime
+		res.Stats.ScoreTime += ph.ScoreTime
+		res.Stats.FactorTime += ph.FactorTime
+		if ph.Rounds > res.Stats.Rounds {
+			res.Stats.Rounds = ph.Rounds
+		}
+	}
+	if res.Stats.Rounds == 0 {
+		res.Stats.Rounds = 1
+	}
+	return res, nil
+}
+
+// sparsifyCluster builds one cluster's sparsifier and marks its surviving
+// edges in the global membership slice (distinct indices per cluster, so
+// concurrent workers never write the same element).
+func sparsifyCluster(ctx context.Context, cl *Cluster, ci int, inSub []bool, sb *sparsify.ShardBuild, ph *sparsify.Stats, o sparsify.Options) error {
+	start := time.Now()
+	sb.Vertices = cl.Local.N
+	sb.Edges = cl.Local.M()
+
+	if cl.Local.M() <= tinyClusterEdges {
+		for _, ge := range cl.GlobalEdge {
+			inSub[ge] = true
+		}
+		sb.SparsifierEdges = cl.Local.M()
+		sb.Time = time.Since(start)
+		return nil
+	}
+
+	co := o
+	co.Workers = 1
+	// Decorrelate per-cluster randomness while keeping the whole build
+	// reproducible from the caller's seed.
+	co.Seed = o.Seed + int64(ci)*1_000_003
+	res, err := sparsify.SparsifyContext(ctx, cl.Local, co)
+	if err != nil {
+		return fmt.Errorf("shard: cluster %d (%d vertices): %w", ci, cl.Local.N, err)
+	}
+	*ph = res.Stats
+	for _, le := range res.EdgeIdx {
+		inSub[cl.GlobalEdge[le]] = true
+	}
+	sb.SparsifierEdges = len(res.EdgeIdx)
+	sb.Time = time.Since(start)
+	return nil
+}

@@ -1,0 +1,240 @@
+package shard_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/shard"
+	"repro/internal/sparsify"
+)
+
+// threeCommunities builds a graph with three dense grid communities
+// joined by a few weak bridges — the natural best case for a 3-way
+// partition plan and the worst case for naive stitching (all spectral
+// deficiency concentrates on the bridges).
+func threeCommunities(side int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	n := 0
+	offsets := make([]int, 3)
+	for c := 0; c < 3; c++ {
+		offsets[c] = n
+		comm := gen.Grid2D(side, side, seed+int64(c))
+		for _, e := range comm.Edges {
+			edges = append(edges, graph.Edge{U: e.U + n, V: e.V + n, W: e.W})
+		}
+		n += comm.N
+	}
+	sz := side * side
+	// Three bridges between consecutive communities (0-1, 1-2, 2-0).
+	for c := 0; c < 3; c++ {
+		a, b := offsets[c], offsets[(c+1)%3]
+		for i := 0; i < 3; i++ {
+			edges = append(edges, graph.Edge{
+				U: a + rng.Intn(sz), V: b + rng.Intn(sz), W: 0.05 + 0.1*rng.Float64(),
+			})
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+func TestPlanBalancedConnectedClusters(t *testing.T) {
+	g := gen.Grid2D(40, 40, 3)
+	plan, err := shard.NewPlan(context.Background(), g, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.K < 4 {
+		t.Fatalf("K = %d, want ≥ 4 (planned %d)", plan.K, plan.Planned)
+	}
+	total := 0
+	for i, cl := range plan.Clusters {
+		if !cl.Local.Connected() {
+			t.Fatalf("cluster %d (%d vertices) is disconnected", i, cl.Local.N)
+		}
+		total += cl.Local.N
+		for li, v := range cl.Vertices {
+			if plan.Assign[v] != i {
+				t.Fatalf("vertex %d (local %d) assigned to %d, listed in cluster %d", v, li, plan.Assign[v], i)
+			}
+		}
+	}
+	if total != g.N {
+		t.Fatalf("clusters cover %d vertices, graph has %d", total, g.N)
+	}
+	// Balance: with K planned clusters of a uniform grid, no cluster
+	// should hold more than ~2x its fair share.
+	fair := g.N / plan.Planned
+	for i, cl := range plan.Clusters {
+		if cl.Local.N > 2*fair+8 {
+			t.Errorf("cluster %d has %d vertices, fair share is %d", i, cl.Local.N, fair)
+		}
+	}
+	// Cut edges: both endpoint assignments must differ, and intra+cut
+	// must cover every edge exactly once.
+	intra := 0
+	for _, cl := range plan.Clusters {
+		intra += cl.Local.M()
+	}
+	if intra+len(plan.CutEdges) != g.M() {
+		t.Fatalf("intra %d + cut %d != m %d", intra, len(plan.CutEdges), g.M())
+	}
+	for _, e := range plan.CutEdges {
+		ed := g.Edges[e]
+		if plan.Assign[ed.U] == plan.Assign[ed.V] {
+			t.Fatalf("cut edge %d is intra-cluster", e)
+		}
+	}
+}
+
+func TestShardedSparsifierConnectedAndSized(t *testing.T) {
+	g := gen.CircuitGrid(48, 48, 0.05, 7)
+	res, err := shard.Sparsify(context.Background(), g, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparsifier.Connected() {
+		t.Fatal("stitched sparsifier is disconnected")
+	}
+	if res.Shards == nil {
+		t.Fatal("sharded result has no shard stats")
+	}
+	st := res.Shards
+	if st.Shards < 4 || len(st.PerShard) != st.Shards {
+		t.Fatalf("shard stats: K=%d per-shard=%d", st.Shards, len(st.PerShard))
+	}
+	if st.CutRetained < st.Shards-1 {
+		t.Fatalf("retained %d cut edges, need at least K-1=%d for connectivity", st.CutRetained, st.Shards-1)
+	}
+	// Size contract: tree-ish plus the α budget; must stay well below
+	// the input edge count and above the spanning-tree floor.
+	if m := res.Sparsifier.M(); m < g.N-1 || m > g.N-1+int(0.25*float64(g.N)) {
+		t.Fatalf("sparsifier has %d edges (n=%d, m=%d)", m, g.N, g.M())
+	}
+	if got := len(res.EdgeIdx); got != res.Sparsifier.M() {
+		t.Fatalf("EdgeIdx %d != sparsifier edges %d", got, res.Sparsifier.M())
+	}
+}
+
+func TestShardedDeterministic(t *testing.T) {
+	g := gen.Grid2D(32, 32, 5)
+	a, err := shard.Sparsify(context.Background(), g, shard.Options{Shards: 3, Sparsify: sparsify.Options{Seed: 9, Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shard.Sparsify(context.Background(), g, shard.Options{Shards: 3, Sparsify: sparsify.Options{Seed: 9, Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.EdgeIdx) != len(b.EdgeIdx) {
+		t.Fatalf("runs disagree on size: %d vs %d", len(a.EdgeIdx), len(b.EdgeIdx))
+	}
+	for i := range a.EdgeIdx {
+		if a.EdgeIdx[i] != b.EdgeIdx[i] {
+			t.Fatalf("runs disagree at edge %d: %d vs %d", i, a.EdgeIdx[i], b.EdgeIdx[i])
+		}
+	}
+}
+
+// TestGlobalRecoveryRound forces the non-trivial stitch path: two
+// communities joined by a cut far denser than the recovery quota, so the
+// pipeline must factorize the stitched subgraph and rank the remaining
+// cut edges by truncated trace reduction instead of admitting them all.
+func TestGlobalRecoveryRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := gen.Grid2D(20, 20, 1)
+	var edges []graph.Edge
+	edges = append(edges, a.Edges...)
+	b := gen.Grid2D(20, 20, 2)
+	for _, e := range b.Edges {
+		edges = append(edges, graph.Edge{U: e.U + a.N, V: e.V + a.N, W: e.W})
+	}
+	// A dense cut concentrated on a small boundary set: 300 cross edges
+	// over 20×20 endpoint pairs, so the vertex-level cut forest can
+	// retain at most ~40 of them and the rest must be ranked by the
+	// recovery round.
+	seen := map[[2]int]bool{}
+	for len(seen) < 300 {
+		u, v := rng.Intn(20), a.N+rng.Intn(20)
+		if !seen[[2]int{u, v}] {
+			seen[[2]int{u, v}] = true
+			edges = append(edges, graph.Edge{U: u, V: v, W: 0.2 + rng.Float64()})
+		}
+	}
+	g := graph.MustNew(a.N+b.N, edges)
+
+	res, err := shard.Sparsify(context.Background(), g, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Shards
+	if st.CutRetained+st.CutRecovered >= st.CutEdges {
+		t.Fatalf("dense cut fully admitted (cut=%d retained=%d recovered=%d): recovery round not exercised",
+			st.CutEdges, st.CutRetained, st.CutRecovered)
+	}
+	if st.CutRecovered == 0 {
+		t.Fatalf("recovery round admitted nothing (cut=%d retained=%d)", st.CutEdges, st.CutRetained)
+	}
+	if !res.Sparsifier.Connected() {
+		t.Fatal("stitched sparsifier is disconnected")
+	}
+}
+
+// TestShardedQualityWithin2x is the PR's quality gate: on a 3-community
+// graph, PCG through the stitched sharded sparsifier must converge within
+// 2x the iterations of the monolithic sparsifier.
+func TestShardedQualityWithin2x(t *testing.T) {
+	ctx := context.Background()
+	g := threeCommunities(16, 11)
+
+	mono, err := core.NewSparsifier(ctx, g, core.Config{
+		Sparsify: sparsify.Options{Seed: 1},
+		Tol:      1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := core.NewSparsifier(ctx, g, core.Config{
+		Sparsify:       sparsify.Options{Seed: 1},
+		Tol:            1e-6,
+		ShardThreshold: g.N / 4, // force the sharded path
+		Shards:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sharded.Sharded() || sharded.ShardStats() == nil {
+		t.Fatal("handle did not take the sharded path")
+	}
+	if mono.Sharded() {
+		t.Fatal("monolithic handle claims to be sharded")
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ms, err := mono.Solve(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sharded.Solve(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Converged || !ss.Converged {
+		t.Fatalf("convergence: mono=%v sharded=%v", ms.Converged, ss.Converged)
+	}
+	if ss.Iterations > 2*ms.Iterations {
+		t.Fatalf("sharded PCG took %d iterations, monolithic %d — over the 2x budget",
+			ss.Iterations, ms.Iterations)
+	}
+	t.Logf("PCG iterations: monolithic=%d sharded=%d (K=%d, cut=%d retained=%d recovered=%d)",
+		ms.Iterations, ss.Iterations, sharded.ShardStats().Shards,
+		sharded.ShardStats().CutEdges, sharded.ShardStats().CutRetained, sharded.ShardStats().CutRecovered)
+}

@@ -1,0 +1,88 @@
+package sparsify
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/chol"
+	"repro/internal/graph"
+	"repro/internal/lap"
+	"repro/internal/spai"
+)
+
+// ShardStats records what the partition-parallel sharded pipeline
+// (internal/shard) did to produce a Result. It lives here, on the Result,
+// so the handle layer and the serving engine can report per-shard
+// telemetry without importing the shard package (which itself imports
+// this one).
+type ShardStats struct {
+	// Shards is the number of clusters actually sparsified (after
+	// disconnected planned clusters were split into components).
+	Shards int
+	// FallbackSplits counts recursive bisections that fell back from the
+	// Fiedler split to the BFS ordering (slow or degenerate convergence).
+	FallbackSplits int
+	// CutEdges is the number of input edges crossing clusters.
+	CutEdges int
+	// CutRetained is how many cut edges the stitch kept as the
+	// inter-cluster spanning structure (connectivity).
+	CutRetained int
+	// CutRecovered is how many further cut edges the global recovery
+	// round re-admitted by truncated trace-reduction score.
+	CutRecovered int
+
+	PlanTime   time.Duration // partitioning (Fiedler/BFS bisection)
+	BuildTime  time.Duration // per-cluster sparsification (wall clock)
+	StitchTime time.Duration // forest + global recovery round
+
+	PerShard []ShardBuild
+}
+
+// ShardBuild is one cluster's build telemetry.
+type ShardBuild struct {
+	Vertices        int
+	Edges           int
+	SparsifierEdges int
+	Time            time.Duration
+}
+
+// RecoverOffSubgraph runs one general densification round (eq. 20) of
+// Algorithm 2 against an arbitrary subgraph: it factorizes the current
+// subgraph's regularized Laplacian, builds the sparse approximate inverse
+// of the Cholesky factor (Algorithm 1), scores the candidate off-subgraph
+// edges by approximate truncated trace reduction, and admits up to quota
+// of them in descending score order (with the endpoint-ball similarity
+// exclusion — there is no global spanning tree here, so the feGRASS path
+// corridor does not apply). inSub is updated in place; the return value is
+// the number of edges admitted.
+//
+// This is the stitching hook of the sharded pipeline: after per-cluster
+// sparsifiers and the inter-cluster spanning forest are in place, the
+// remaining cut edges are re-scored against the stitched subgraph in one
+// global recovery round.
+func RecoverOffSubgraph(ctx context.Context, g *graph.Graph, inSub []bool, cand []int, quota int, opts Options) (int, error) {
+	if quota <= 0 || len(cand) == 0 {
+		return 0, nil
+	}
+	o := opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("sparsify: recovery round: %w", err)
+	}
+
+	shift := lap.Shift(g, o.ShiftRel)
+	ls := lap.Laplacian(subgraphView(g, inSub), shift)
+	f, err := chol.New(ls, chol.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("sparsify: factorizing stitched subgraph: %w", err)
+	}
+	z := spai.Compute(f.L, o.Delta)
+
+	scores, err := scoreGeneralPhase(ctx, g, inSub, f, z, cand, o)
+	if err != nil {
+		return 0, fmt.Errorf("sparsify: recovery round: %w", err)
+	}
+	res := &Result{InSub: inSub}
+	excl := newBallExcluder(g, nil, o.SimilarityHops)
+	return selectEdges(g, res, excl, cand, scores, quota), nil
+}

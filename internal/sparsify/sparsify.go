@@ -152,6 +152,10 @@ type Result struct {
 	// construction; reuse it when building the (L_G, L_P) pencil.
 	Shift []float64
 	Stats Stats
+	// Shards is per-shard telemetry when the result came out of the
+	// partition-parallel sharded pipeline (internal/shard); nil for a
+	// monolithic build.
+	Shards *ShardStats
 }
 
 // Sparsify runs the configured sparsification algorithm on g.

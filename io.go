@@ -27,6 +27,24 @@ func ReadMatrixMarketGraph(r io.Reader) (*Graph, error) {
 	return GraphFromMatrix(a)
 }
 
+// WriteMatrixMarketGraph writes g as a Matrix Market file in the
+// adjacency convention ReadMatrixMarketGraph accepts (coordinate real
+// symmetric, positive off-diagonals = edge weights, no diagonal).
+// Weights are written with enough digits to round-trip float64 exactly,
+// so Write→Read reproduces the graph bit for bit.
+func WriteMatrixMarketGraph(w io.Writer, g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("trsparse: nil graph")
+	}
+	tr := sparse.NewTriplet(g.N, g.N)
+	for _, e := range g.Edges {
+		// Lower triangle only: the symmetric writer emits entries with
+		// row ≥ col, and edges are normalized U ≤ V.
+		tr.Add(e.V, e.U, e.W)
+	}
+	return sparse.WriteMatrixMarket(w, tr.ToCSC(), true)
+}
+
 // GraphFromMatrix converts a square sparse matrix to a weighted graph per
 // the rules of ReadMatrixMarketGraph.
 func GraphFromMatrix(a *sparse.CSC) (*Graph, error) {

@@ -1,6 +1,9 @@
 package trsparse
 
 import (
+	"bytes"
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -143,5 +146,67 @@ func TestReadMatrixMarketGraphRoundTrip(t *testing.T) {
 	}
 	if w, _ := edgeWeight(g, 1, 2); w != 3 {
 		t.Fatalf("edge (1,2) weight = %g, want 3", w)
+	}
+}
+
+// TestWriteReadMatrixMarketGraphRoundTrip is the writer→reader property
+// test: random connected graphs with weights spanning 1e-12..1e12 must
+// survive WriteMatrixMarketGraph → ReadMatrixMarketGraph bit for bit
+// (the writer emits full float64 precision).
+func TestWriteReadMatrixMarketGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(60)
+		// Random spanning tree first (the MM reader's malformed-header
+		// guard rejects matrices with fewer entries than vertices, so
+		// every generated graph keeps m ≥ n−1), then random extras —
+		// including deliberate duplicates, which NewGraph merges before
+		// the write.
+		var edges []Edge
+		logSpan := func() float64 {
+			// log-uniform in [1e-12, 1e12]
+			return math.Pow(10, -12+24*rng.Float64())
+		}
+		for v := 1; v < n; v++ {
+			edges = append(edges, Edge{U: rng.Intn(v), V: v, W: logSpan()})
+		}
+		for i := 0; i < n/2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, Edge{U: u, V: v, W: logSpan()})
+		}
+		g, err := NewGraph(n, edges)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		var buf bytes.Buffer
+		if err := WriteMatrixMarketGraph(&buf, g); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ReadMatrixMarketGraph(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: read back: %v", trial, err)
+		}
+		if got.N != g.N || got.M() != g.M() {
+			t.Fatalf("trial %d: round trip n=%d m=%d, want n=%d m=%d",
+				trial, got.N, got.M(), g.N, g.M())
+		}
+		want := make(map[[2]int]float64, g.M())
+		for _, e := range g.Edges {
+			want[[2]int{e.U, e.V}] = e.W
+		}
+		for _, e := range got.Edges {
+			w, ok := want[[2]int{e.U, e.V}]
+			if !ok {
+				t.Fatalf("trial %d: edge (%d,%d) not in original", trial, e.U, e.V)
+			}
+			if w != e.W {
+				t.Fatalf("trial %d: edge (%d,%d) weight %v != original %v (exact round trip required)",
+					trial, e.U, e.V, e.W, w)
+			}
+		}
 	}
 }

@@ -114,6 +114,25 @@ func WithCancelCheckEvery(k int) Option {
 	return func(c *Config) { c.CheckEvery = k }
 }
 
+// WithShardThreshold routes graphs with more than n vertices through the
+// partition-parallel sharded pipeline: the graph is recursively
+// bipartitioned into balanced clusters (spectral split with a BFS
+// fallback), each cluster is sparsified concurrently, and the pieces are
+// stitched with a cut-edge spanning forest plus one global
+// trace-reduction recovery round. 0 (the default) builds every graph
+// monolithically. Sharded handles report telemetry via
+// Sparsifier.ShardStats.
+func WithShardThreshold(n int) Option {
+	return func(c *Config) { c.ShardThreshold = n }
+}
+
+// WithShards sets the cluster count K for the sharded pipeline (0 derives
+// K from the shard threshold: ceil(|V|/threshold)). It has no effect
+// unless WithShardThreshold routes the graph into the sharded path.
+func WithShards(k int) Option {
+	return func(c *Config) { c.Shards = k }
+}
+
 // WithSparsifierGraph skips construction and adopts p as the sparsifier.
 // p must span the same vertex set as the input graph (ErrDimension
 // otherwise) and be connected (ErrDisconnected otherwise). Use it to

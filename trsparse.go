@@ -30,10 +30,19 @@
 // WithMethod to select the GRASS or feGRASS baselines instead, and
 // WithSparsifierGraph to measure a subgraph you built yourself.
 //
+// Large graphs can be built through the partition-parallel sharded
+// pipeline (WithShardThreshold, WithShards): the graph is recursively
+// bipartitioned into balanced clusters, each cluster is sparsified
+// concurrently, and the pieces are stitched with a cut-edge spanning
+// forest plus one global trace-reduction recovery round. Sharded handles
+// expose per-shard telemetry via Sparsifier.ShardStats.
+//
 // For serving workloads, NewEngine wraps the library in a concurrent
 // batch engine whose LRU cache holds Sparsifier handles keyed by graph
-// fingerprint, so repeated solves against one graph reuse its Cholesky
-// factorization; cmd/trsparsed exposes the engine over HTTP (/v2/*, with
+// fingerprint (and shard configuration), so repeated solves against one
+// graph reuse its Cholesky factorization; graphs above the engine's
+// MaxVertices are admitted through the sharded pipeline up to a hard
+// cap. cmd/trsparsed exposes the engine over HTTP (/v2/*, with
 // per-request deadlines).
 //
 // The one-shot free functions (Sparsify, SolvePCG, CondNumber, TraceProxy,
@@ -87,6 +96,15 @@ type Options = sparsify.Options
 // Result is a computed sparsifier plus instrumentation. Handles built by
 // New expose it via Sparsifier.Result.
 type Result = sparsify.Result
+
+// ShardStats is the sharded pipeline's build telemetry: cluster count,
+// cut-edge accounting, phase timings, and per-shard sizes. Result.Shards
+// (and Sparsifier.ShardStats) is non-nil exactly when the handle was
+// built through the sharded path (see WithShardThreshold).
+type ShardStats = sparsify.ShardStats
+
+// ShardBuild is one cluster's build telemetry within ShardStats.
+type ShardBuild = sparsify.ShardBuild
 
 // EvalOptions configures Evaluate's measurements.
 //
