@@ -21,8 +21,11 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/precond"
 	"repro/internal/shard"
+	"repro/internal/solver"
 	"repro/internal/sparsify"
 )
 
@@ -334,6 +337,92 @@ func BenchmarkShardedSparsify(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.Shards.Shards), "shards")
 		reportQuality(b, res.Sparsifier)
+	})
+}
+
+// BenchmarkShardedPencil is the PR-4 acceptance benchmark: after a
+// sharded build of a 600×600 grid sparsifier, the solve handle still
+// needs a preconditioner for the stitched result — previously one
+// monolithic Cholesky, the dominant remaining superlinear cost. The
+// "factor" sub-benchmarks time exactly that preparation (pencil assembly
+// + factorization) under each strategy: the monolithic factor vs the
+// additive-Schwarz per-cluster factors plus the coarse cut-coupling
+// system, built on 4 workers over the plan's own clusters. The "solve"
+// sub-benchmarks then time one end-to-end PCG solve at rtol 1e-6 through
+// each prepared pencil and report the iteration counts, so the Schwarz
+// iteration penalty is visible next to the factorization win.
+func BenchmarkShardedPencil(b *testing.B) {
+	ctx := context.Background()
+	// Same deliberately unscaled graph as BenchmarkShardedSparsify: the
+	// sharded pencil exists for graphs where a monolithic factorization
+	// hurts.
+	g := Grid2D(600, 600, 1)
+	res, err := shard.Sparsify(ctx, g, shard.Options{
+		Threshold: g.N / 32,
+		Sparsify:  sparsify.Options{Seed: 1, Workers: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Shards == nil || res.Shards.Assign == nil {
+		b.Fatal("sharded build did not thread a plan assignment")
+	}
+	sub, shift, assign := res.Sparsifier, res.Shift, res.Shards.Assign
+	schwarz := func() precond.Builder {
+		return precond.NewSchwarz(assign, precond.SchwarzOptions{Workers: 4})
+	}
+
+	b.Run("factor/monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewPencil(g, sub, shift); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("factor/schwarz", func(b *testing.B) {
+		var pen *core.Pencil
+		for i := 0; i < b.N; i++ {
+			var err error
+			if pen, err = core.NewPencilWith(g, sub, shift, schwarz()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(pen.PreStats.Clusters), "clusters")
+	})
+
+	rng := rand.New(rand.NewSource(17))
+	rhs := make([]float64, g.N)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	solveThrough := func(b *testing.B, pen *core.Pencil) {
+		b.Helper()
+		iters := 0
+		for i := 0; i < b.N; i++ {
+			x := make([]float64, g.N)
+			r := pen.Solve(rhs, x, solver.Options{Tol: 1e-6})
+			if !r.Converged {
+				b.Fatalf("solve did not converge (relres %g after %d iters)", r.RelRes, r.Iterations)
+			}
+			iters = r.Iterations
+		}
+		b.ReportMetric(float64(iters), "pcg-iters")
+	}
+	b.Run("solve/monolithic", func(b *testing.B) {
+		pen, err := core.NewPencil(g, sub, shift)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		solveThrough(b, pen)
+	})
+	b.Run("solve/schwarz", func(b *testing.B) {
+		pen, err := core.NewPencilWith(g, sub, shift, schwarz())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		solveThrough(b, pen)
 	})
 }
 

@@ -1,17 +1,22 @@
 // Command benchguard compares two `go test -json -bench` output files and
 // fails when a benchmark got slower than an allowed factor. CI runs it
-// after the bench job so a PR that regresses the serving hot path
-// (BenchmarkSparsifierSolve) fails visibly instead of silently shipping
+// after the bench job so a PR that regresses a gated path (the serving
+// hot path BenchmarkSparsifierSolve, the sharded construction race
+// BenchmarkShardedSparsify) fails visibly instead of silently shipping
 // the slowdown.
 //
 // Usage:
 //
-//	benchguard -old BENCH_pr2.json -new BENCH_pr3.json \
-//	    -bench 'BenchmarkSparsifierSolve' -max-slowdown 1.25
+//	benchguard -old BENCH_pr3.json -new BENCH_pr4.json \
+//	    -gate 'BenchmarkSparsifierSolve=1.25' \
+//	    -gate 'BenchmarkShardedSparsify=1.40'
 //
-// Benchmarks present in only one file are reported but do not fail the
-// run (the set is expected to grow PR over PR); a matched benchmark whose
-// new ns/op exceeds old·max-slowdown fails it.
+// Each -gate is a regexp=max-slowdown pair and may repeat; a benchmark
+// matching several gates is held to the strictest. The legacy
+// -bench/-max-slowdown pair remains as a single default gate. Benchmarks
+// present in only one file are reported but do not fail the run (the set
+// is expected to grow PR over PR); a matched benchmark whose new ns/op
+// exceeds old·max-slowdown fails it.
 package main
 
 import (
@@ -20,12 +25,59 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// gate is one regexp → allowed-slowdown rule.
+type gate struct {
+	re  *regexp.Regexp
+	max float64
+}
+
+// gateFlags accumulates repeated -gate 'regexp=factor' flags.
+type gateFlags []gate
+
+func (g *gateFlags) String() string {
+	var parts []string
+	for _, x := range *g {
+		parts = append(parts, fmt.Sprintf("%s=%g", x.re, x.max))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *gateFlags) Set(s string) error {
+	eq := strings.LastIndex(s, "=")
+	if eq < 0 {
+		return fmt.Errorf("gate %q: want regexp=max-slowdown", s)
+	}
+	re, err := regexp.Compile(s[:eq])
+	if err != nil {
+		return fmt.Errorf("gate %q: %w", s, err)
+	}
+	max, err := strconv.ParseFloat(s[eq+1:], 64)
+	if err != nil || max <= 0 {
+		return fmt.Errorf("gate %q: bad max-slowdown %q", s, s[eq+1:])
+	}
+	*g = append(*g, gate{re: re, max: max})
+	return nil
+}
+
+// limitFor returns the strictest max-slowdown any gate imposes on name,
+// or +Inf when no gate matches.
+func (g gateFlags) limitFor(name string) float64 {
+	limit := math.Inf(1)
+	for _, x := range g {
+		if x.re.MatchString(name) && x.max < limit {
+			limit = x.max
+		}
+	}
+	return limit
+}
 
 // event is the subset of the test2json stream benchguard reads.
 type event struct {
@@ -85,15 +137,25 @@ func main() {
 	log.SetPrefix("benchguard: ")
 	oldPath := flag.String("old", "", "baseline bench JSON (test2json stream)")
 	newPath := flag.String("new", "", "candidate bench JSON (test2json stream)")
-	benchRE := flag.String("bench", ".", "regexp of benchmark names the slowdown gate applies to")
-	maxSlowdown := flag.Float64("max-slowdown", 1.25, "fail when new/old ns/op exceeds this for a gated benchmark")
+	benchRE := flag.String("bench", "", "regexp for the default gate (legacy single-gate mode)")
+	maxSlowdown := flag.Float64("max-slowdown", 1.25, "max-slowdown of the legacy -bench gate")
+	var gates gateFlags
+	flag.Var(&gates, "gate", "regexp=max-slowdown pair; repeatable, strictest match wins")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		log.Fatal("need -old and -new")
 	}
-	gate, err := regexp.Compile(*benchRE)
-	if err != nil {
-		log.Fatalf("bad -bench regexp: %v", err)
+	if *benchRE != "" {
+		re, err := regexp.Compile(*benchRE)
+		if err != nil {
+			log.Fatalf("bad -bench regexp: %v", err)
+		}
+		gates = append(gates, gate{re: re, max: *maxSlowdown})
+	}
+	if len(gates) == 0 {
+		// No explicit gate: everything is held to -max-slowdown, matching
+		// the historical default of -bench '.'.
+		gates = append(gates, gate{re: regexp.MustCompile("."), max: *maxSlowdown})
 	}
 
 	oldNS, err := parse(*oldPath)
@@ -126,13 +188,18 @@ func main() {
 			continue
 		}
 		ratio := nv / ov
+		limit := gates.limitFor(name)
 		status := "ok  "
-		if gate.MatchString(name) && ratio > *maxSlowdown {
+		if ratio > limit {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s  %-60s %14.0f -> %14.0f ns/op  (%.2fx, limit %.2fx)\n",
-			status, name, ov, nv, ratio, *maxSlowdown)
+		lim := "ungated"
+		if !math.IsInf(limit, 1) {
+			lim = fmt.Sprintf("limit %.2fx", limit)
+		}
+		fmt.Printf("%s  %-60s %14.0f -> %14.0f ns/op  (%.2fx, %s)\n",
+			status, name, ov, nv, ratio, lim)
 	}
 	for name := range oldNS {
 		if _, ok := newNS[name]; !ok {
@@ -140,6 +207,6 @@ func main() {
 		}
 	}
 	if failed {
-		log.Fatalf("benchmark regression above %.2fx", *maxSlowdown)
+		log.Fatal("benchmark regression above a gate limit")
 	}
 }

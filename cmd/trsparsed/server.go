@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/precond"
 )
 
 // maxBodyBytes caps request bodies; a 64 MiB Matrix Market file covers
@@ -127,13 +128,47 @@ type sparsifyRequest struct {
 	Graph *graphPayload `json:"graph"`
 }
 
-// shardInfo is the response-side summary of a sharded build.
+// shardInfo is the response-side summary of a sharded build (or of the
+// expander guard's decision to abandon one).
 type shardInfo struct {
-	Shards         int `json:"shards"`
-	CutEdges       int `json:"cut_edges"`
-	CutRetained    int `json:"cut_retained"`
-	CutRecovered   int `json:"cut_recovered"`
-	FallbackSplits int `json:"fallback_splits"`
+	Shards         int     `json:"shards"`
+	CutEdges       int     `json:"cut_edges"`
+	CutFraction    float64 `json:"cut_fraction"`
+	CutRetained    int     `json:"cut_retained"`
+	CutRecovered   int     `json:"cut_recovered"`
+	FallbackSplits int     `json:"fallback_splits"`
+	// Abandoned reports that the plan's cut fraction exceeded the guard
+	// ceiling and the build fell back to the monolithic path.
+	Abandoned bool `json:"abandoned,omitempty"`
+}
+
+// precondInfo is the response-side summary of how the artifact's
+// preconditioner was built.
+type precondInfo struct {
+	Kind       string  `json:"kind"`
+	Clusters   int     `json:"clusters,omitempty"`
+	CoarseSize int     `json:"coarse_size,omitempty"`
+	Colors     int     `json:"colors,omitempty"`
+	FactorNNZ  int64   `json:"factor_nnz"`
+	MemBytes   int64   `json:"mem_bytes"`
+	BuildMS    float64 `json:"build_ms"`
+}
+
+// precondInfoOf extracts the preconditioner summary from an artifact.
+func precondInfoOf(art *engine.Artifact) *precondInfo {
+	ps := art.Handle.PrecondStats()
+	if ps == nil {
+		return nil
+	}
+	return &precondInfo{
+		Kind:       ps.Kind,
+		Clusters:   ps.Clusters,
+		CoarseSize: ps.CoarseSize,
+		Colors:     ps.Colors,
+		FactorNNZ:  ps.FactorNNZ,
+		MemBytes:   ps.MemBytes,
+		BuildMS:    float64(ps.BuildTime) / float64(time.Millisecond),
+	}
 }
 
 type sparsifyResponse struct {
@@ -149,11 +184,14 @@ type sparsifyResponse struct {
 	// server's -shard-threshold default, or admission above
 	// -max-vertices).
 	Sharded *shardInfo `json:"sharded,omitempty"`
+	// Precond reports how the artifact's preconditioner was built
+	// (?precond=monolithic|schwarz|auto selects the strategy).
+	Precond *precondInfo `json:"precond,omitempty"`
 }
 
-// buildOptsFrom parses the per-request sharding overrides: ?shards=K and
-// ?shard_threshold=N (both optional, both must be non-negative integers;
-// 0 inherits the server default).
+// buildOptsFrom parses the per-request build overrides: ?shards=K,
+// ?shard_threshold=N (non-negative integers; 0 inherits the server
+// default), and ?precond=auto|monolithic|schwarz.
 func buildOptsFrom(r *http.Request) (engine.BuildOpts, error) {
 	var bo engine.BuildOpts
 	for _, p := range []struct {
@@ -173,6 +211,13 @@ func buildOptsFrom(r *http.Request) (engine.BuildOpts, error) {
 		}
 		*p.dst = v
 	}
+	if raw := r.URL.Query().Get("precond"); raw != "" {
+		kind, err := precond.ParseKind(raw)
+		if err != nil {
+			return bo, fmt.Errorf("invalid precond %q (want auto, monolithic, or schwarz)", raw)
+		}
+		bo.Precond = kind
+	}
 	return bo, nil
 }
 
@@ -186,9 +231,11 @@ func shardInfoOf(art *engine.Artifact) *shardInfo {
 	return &shardInfo{
 		Shards:         st.Shards,
 		CutEdges:       st.CutEdges,
+		CutFraction:    st.CutFraction,
 		CutRetained:    st.CutRetained,
 		CutRecovered:   st.CutRecovered,
 		FallbackSplits: st.FallbackSplits,
+		Abandoned:      st.Abandoned,
 	}
 }
 
@@ -250,6 +297,7 @@ func (s *server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 		Cached:    cached,
 		BuildMS:   float64(art.BuildTime) / float64(time.Millisecond),
 		Sharded:   shardInfoOf(art),
+		Precond:   precondInfoOf(art),
 	}
 	// ?edges=false skips materializing the sparsifier edge list — for
 	// clients that only want the key for later /v1/solve calls, rendering
@@ -276,6 +324,12 @@ type solveResponse struct {
 	RelRes     float64   `json:"relres"`
 	Converged  bool      `json:"converged"`
 	Cached     bool      `json:"cached"`
+	// Precond reports the preconditioner the solve ran through. For
+	// inline graphs ?precond= selects the strategy at build time; for
+	// by-key solves the artifact's existing preconditioner is reported
+	// (the key pins the build, so ?precond= cannot change it — re-POST
+	// /v2/sparsify with the desired strategy instead).
+	Precond *precondInfo `json:"precond,omitempty"`
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -285,6 +339,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	bo, err := buildOptsFrom(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	var req solveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding JSON body: %w", err))
@@ -315,7 +374,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err = s.eng.Solve(ctx, g, req.B, req.Tol)
+		res, err = s.eng.SolveWith(ctx, g, req.B, req.Tol, bo)
 	default:
 		writeErr(w, http.StatusBadRequest, errors.New("pass either key or graph"))
 		return
@@ -331,6 +390,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		RelRes:     res.RelRes,
 		Converged:  res.Converged,
 		Cached:     res.CacheHit,
+		Precond:    precondInfoOf(res.Artifact),
 	})
 }
 

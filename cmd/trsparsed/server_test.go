@@ -570,3 +570,65 @@ func TestV2SparsifyShardParams(t *testing.T) {
 		t.Fatalf("negative shards code = %q", e.Code)
 	}
 }
+
+// TestV2PrecondParam: ?precond= selects the preconditioner strategy, the
+// response carries the stats block, and the strategy participates in the
+// artifact identity. Solving through the Schwarz artifact still converges.
+func TestV2PrecondParam(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(30, 30, 2)
+
+	var auto sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify?edges=false", graphRequest(g), &auto); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default sparsify status = %d", resp.StatusCode)
+	}
+	if auto.Precond == nil || auto.Precond.Kind != "monolithic" {
+		t.Fatalf("default precond block = %+v, want monolithic", auto.Precond)
+	}
+	if auto.Precond.FactorNNZ <= 0 || auto.Precond.BuildMS < 0 {
+		t.Fatalf("precond block incomplete: %+v", auto.Precond)
+	}
+
+	var sch sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify?edges=false&precond=schwarz", graphRequest(g), &sch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("schwarz sparsify status = %d", resp.StatusCode)
+	}
+	if sch.Precond == nil || sch.Precond.Kind != "schwarz" || sch.Precond.Clusters < 2 {
+		t.Fatalf("schwarz precond block = %+v", sch.Precond)
+	}
+	if sch.Key == auto.Key {
+		t.Fatal("schwarz and auto artifacts share a key")
+	}
+
+	// Solve by key against the Schwarz artifact.
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = signOf(i)
+	}
+	var sol solveResponse
+	if resp := postJSON(t, ts.URL+"/v2/solve", solveRequest{Key: sch.Key, B: b}, &sol); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", resp.StatusCode)
+	}
+	if !sol.Converged || sol.Precond == nil || sol.Precond.Kind != "schwarz" {
+		t.Fatalf("solve: converged=%v precond=%+v", sol.Converged, sol.Precond)
+	}
+
+	// Inline-graph solve with ?precond= builds (or reuses) the Schwarz
+	// artifact directly.
+	var sol2 solveResponse
+	if resp := postJSON(t, ts.URL+"/v2/solve?precond=schwarz",
+		solveRequest{Graph: &graphPayload{N: g.N, Edges: edgesPayload(g)}, B: b}, &sol2); resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline solve status = %d", resp.StatusCode)
+	}
+	if sol2.Key != sch.Key || !sol2.Converged {
+		t.Fatalf("inline schwarz solve: key=%q want %q, converged=%v", sol2.Key, sch.Key, sol2.Converged)
+	}
+
+	var e errorResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify?precond=ilu", graphRequest(g), &e); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad precond status = %d, want 400", resp.StatusCode)
+	}
+	if e.Code != "invalid_request" {
+		t.Fatalf("bad precond code = %q", e.Code)
+	}
+}

@@ -84,9 +84,9 @@ func Evaluate(g *graph.Graph, sopts sparsify.Options, eopts EvalOptions) (*Outco
 		return nil, err
 	}
 	out.LG = pen.LG
-	out.Factor = pen.Factor
-	out.FactorNNZ = pen.Factor.NNZ()
-	out.MemBytes = pen.Factor.MemBytes()
+	out.Factor = pen.Factor() // Evaluate builds monolithically, so the factor exists
+	out.FactorNNZ = int(pen.PreStats.FactorNNZ)
+	out.MemBytes = pen.PreStats.MemBytes
 
 	if !eopts.SkipKappa {
 		out.Kappa = pen.CondNumber(eopts.LanczosSteps, eopts.Seed)

@@ -9,36 +9,53 @@ import (
 	"repro/internal/eig"
 	"repro/internal/graph"
 	"repro/internal/lap"
+	"repro/internal/precond"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 )
 
 // Pencil is a prepared regularized Laplacian pencil (L_G, L_P): the shared
-// diagonal shift, both assembled Laplacians, and the Cholesky factorization
-// of the sparsifier side. Every measurement the library exposes — PCG
-// solves, condition-number and trace estimates, Fiedler vectors — consumes
-// exactly this bundle, so preparing it once and reusing it is the unit of
-// caching for the serving engine: repeated solves against the same
-// (graph, sparsifier) pair skip both Laplacian assembly and refactorization.
+// diagonal shift, both assembled Laplacians, and a ready preconditioner
+// for the sparsifier side built by a pluggable precond.Builder strategy —
+// one monolithic Cholesky factorization by default, or the sharded
+// additive-Schwarz preconditioner over per-cluster factors. Every
+// measurement the library exposes — PCG solves, condition-number and trace
+// estimates, Fiedler vectors — consumes exactly this bundle, so preparing
+// it once and reusing it is the unit of caching for the serving engine:
+// repeated solves against the same (graph, sparsifier) pair skip both
+// Laplacian assembly and refactorization.
 //
 // A Pencil is immutable after construction and safe for concurrent use:
-// every method allocates its own scratch vectors. It deliberately does not
-// retain the input graphs: once the Laplacians are assembled they are the
-// working representation, and a long-lived cache of pencils (the serving
-// engine's store) should not pin a redundant copy of every edge list.
+// methods allocate their own vectors and the preconditioner pools its
+// scratch. It deliberately does not retain the input graphs: once the
+// Laplacians are assembled they are the working representation, and a
+// long-lived cache of pencils (the serving engine's store) should not pin
+// a redundant copy of every edge list.
 type Pencil struct {
 	N int // vertex count of the underlying graphs
 
-	Shift  []float64    // shared diagonal regularization (λmin of pencil = 1)
-	LG, LP *sparse.CSC  // regularized Laplacians of G and P
-	Factor *chol.Factor // Cholesky factorization of LP
+	Shift  []float64   // shared diagonal regularization (λmin of pencil = 1)
+	LG, LP *sparse.CSC // regularized Laplacians of G and P
+
+	// Pre is the preconditioner for L_P produced by the builder; PreStats
+	// records how it was built. Callers that held the former Factor field
+	// use the Factor method instead (nil for non-monolithic strategies).
+	Pre      solver.Preconditioner
+	PreStats *precond.Stats
 }
 
-// NewPencil assembles and factorizes the pencil for graph g preconditioned
-// by sparsifier p. shift is the shared regularization diagonal; pass nil to
-// compute the default lap.Shift(g, 0). When the sparsifier came out of
-// Sparsify, pass its Result.Shift so the pencil matches construction.
+// NewPencil assembles the pencil for graph g preconditioned by sparsifier
+// p and factorizes it monolithically (the default strategy). shift is the
+// shared regularization diagonal; pass nil to compute the default
+// lap.Shift(g, 0). When the sparsifier came out of Sparsify, pass its
+// Result.Shift so the pencil matches construction.
 func NewPencil(g, p *graph.Graph, shift []float64) (*Pencil, error) {
+	return NewPencilWith(g, p, shift, nil)
+}
+
+// NewPencilWith is NewPencil with an explicit preconditioner construction
+// strategy (nil selects the monolithic default).
+func NewPencilWith(g, p *graph.Graph, shift []float64, builder precond.Builder) (*Pencil, error) {
 	if g == nil || p == nil {
 		return nil, fmt.Errorf("core: pencil needs both a graph and a sparsifier")
 	}
@@ -48,27 +65,48 @@ func NewPencil(g, p *graph.Graph, shift []float64) (*Pencil, error) {
 	if shift == nil {
 		shift = lap.Shift(g, 0)
 	}
+	if builder == nil {
+		builder = precond.NewMonolithic()
+	}
 	pen := &Pencil{
 		N:     g.N,
 		Shift: shift,
 		LG:    lap.Laplacian(g, shift),
 		LP:    lap.Laplacian(p, shift),
 	}
-	f, err := chol.New(pen.LP, chol.Options{})
+	pre, st, err := builder.Build(pen.LP)
 	if err != nil {
-		if errors.Is(err, chol.ErrNotPD) {
+		switch {
+		case errors.Is(err, chol.ErrNotPD):
 			err = fmt.Errorf("%w: %w", ErrNotSPD, err)
+		case errors.Is(err, precond.ErrBadAssignment):
+			// A malformed cluster assignment is a caller-side sizing bug,
+			// not a numerically bad matrix.
+			err = fmt.Errorf("%w: %w", ErrDimension, err)
 		}
-		return nil, fmt.Errorf("core: factorizing sparsifier: %w", err)
+		return nil, fmt.Errorf("core: building %s preconditioner for sparsifier: %w", builder.Kind(), err)
 	}
-	pen.Factor = f
+	pen.Pre = pre
+	pen.PreStats = st
 	return pen, nil
 }
 
-// Solve runs PCG on L_G x = b preconditioned by the factored sparsifier,
-// starting from x (zero-initialize for a cold start; b and x have length N).
+// Factor returns the single sparse Cholesky factorization backing the
+// preconditioner when the monolithic strategy built it, and nil otherwise
+// (a Schwarz preconditioner holds one factor per cluster, not one global
+// one). It replaces the former public Factor field; see MIGRATION.md.
+func (p *Pencil) Factor() *chol.Factor {
+	if f, ok := p.Pre.(solver.Factored); ok {
+		return f.Factor()
+	}
+	return nil
+}
+
+// Solve runs PCG on L_G x = b preconditioned by the built sparsifier
+// preconditioner, starting from x (zero-initialize for a cold start; b and
+// x have length N).
 func (p *Pencil) Solve(b, x []float64, opts solver.Options) solver.Result {
-	return solver.PCG(p.LG, b, x, solver.NewCholPrecond(p.Factor), opts)
+	return solver.PCG(p.LG, b, x, p.Pre, opts)
 }
 
 // SolveCtx is Solve with cancellation: ctx is polled every few PCG
@@ -83,20 +121,29 @@ func (p *Pencil) SolveCtx(ctx context.Context, b, x []float64, opts solver.Optio
 
 // CondNumberCtx is CondNumber with cancellation, polled per Lanczos step.
 func (p *Pencil) CondNumberCtx(ctx context.Context, steps int, seed int64) (float64, error) {
-	k, err := eig.CondNumberCtx(ctx, p.LG, p.Factor, eig.GenMaxOptions{Steps: steps, Seed: seed})
+	o := eig.GenMaxOptions{Steps: steps, Seed: seed}
+	var k float64
+	var err error
+	if f := p.Factor(); f != nil {
+		// Exact-factor path: similarity-transform Lanczos through the
+		// triangular factors, bitwise-identical to the pre-refactor
+		// behaviour.
+		k, err = eig.CondNumberCtx(ctx, p.LG, f, o)
+	} else {
+		k, err = eig.CondNumberApplyCtx(ctx, p.LG, p.Pre.Apply, o)
+	}
 	return k, wrapCanceled(err)
 }
 
 // TraceEstCtx is TraceEst with cancellation, polled per Hutchinson probe.
 func (p *Pencil) TraceEstCtx(ctx context.Context, probes int, seed int64) (float64, error) {
-	t, err := eig.TraceEstCtx(ctx, p.LG, p.Factor, probes, seed)
+	t, err := eig.TraceEstApplyCtx(ctx, p.LG, p.Pre.Apply, probes, seed)
 	return t, wrapCanceled(err)
 }
 
 // FiedlerCtx is Fiedler with cancellation: ctx is polled per inverse-power
 // step and inside each inner PCG solve.
 func (p *Pencil) FiedlerCtx(ctx context.Context, steps int, tol float64, seed int64) ([]float64, error) {
-	pre := solver.NewCholPrecond(p.Factor)
 	// Warm start each solve from the previous one's scale: the normalized
 	// RHS converges to the Fiedler direction, so x ≈ (1/λ₂)·b.
 	prevScale := 0.0
@@ -104,7 +151,7 @@ func (p *Pencil) FiedlerCtx(ctx context.Context, steps int, tol float64, seed in
 		for i := range dst {
 			dst[i] = b[i] * prevScale
 		}
-		solver.PCG(p.LG, b, dst, pre, solver.Options{Tol: tol, Ctx: ctx})
+		solver.PCG(p.LG, b, dst, p.Pre, solver.Options{Tol: tol, Ctx: ctx})
 		var s float64
 		for i := range dst {
 			s += dst[i] * b[i]
@@ -114,16 +161,23 @@ func (p *Pencil) FiedlerCtx(ctx context.Context, steps int, tol float64, seed in
 	return v, wrapCanceled(err)
 }
 
-// CondNumber estimates κ(L_G, L_P) = λmax(L_P⁻¹ L_G) by generalized
-// Lanczos. steps ≤ 0 selects the default (80).
+// CondNumber estimates the largest generalized eigenvalue of the
+// preconditioned pencil by Lanczos: λmax(L_P⁻¹ L_G) under the monolithic
+// strategy (exactly κ(L_G, L_P), the paper's quality metric), and
+// λmax(M⁻¹ L_G) — the effective condition number PCG actually sees,
+// including the Schwarz decomposition penalty — for Apply-only
+// preconditioners. steps ≤ 0 selects the default (80).
 func (p *Pencil) CondNumber(steps int, seed int64) float64 {
-	return eig.CondNumber(p.LG, p.Factor, eig.GenMaxOptions{Steps: steps, Seed: seed})
+	k, _ := p.CondNumberCtx(context.Background(), steps, seed)
+	return k
 }
 
-// TraceEst estimates Tr(L_P⁻¹ L_G) with a Hutchinson stochastic estimator;
-// probes ≤ 0 selects the default (30).
+// TraceEst estimates Tr(M⁻¹ L_G) — Tr(L_P⁻¹ L_G) under the monolithic
+// strategy — with a Hutchinson stochastic estimator; probes ≤ 0 selects
+// the default (30).
 func (p *Pencil) TraceEst(probes int, seed int64) float64 {
-	return eig.TraceEst(p.LG, p.Factor, probes, seed)
+	t, _ := p.TraceEstCtx(context.Background(), probes, seed)
+	return t
 }
 
 // Fiedler approximates the Fiedler vector of G by `steps` rounds of inverse

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/precond"
 	"repro/internal/shard"
 	"repro/internal/solver"
 	"repro/internal/sparsify"
@@ -60,6 +61,14 @@ type Config struct {
 	// Shards is the cluster count K for the sharded pipeline (0 derives
 	// K from ShardThreshold: ceil(N/ShardThreshold)).
 	Shards int
+	// Precond selects the preconditioner construction strategy for the
+	// pencil. precond.Auto (the zero value) picks Schwarz when the
+	// sparsifier was built through the sharded pipeline — the cluster
+	// structure is already paid for, and a monolithic factorization of
+	// the stitched sparsifier would be the one remaining superlinear
+	// cost — and the monolithic Cholesky otherwise. precond.Schwarz on a
+	// monolithic build plans clusters on the sparsifier subgraph first.
+	Precond precond.Kind
 	// CheckEvery is the cancellation poll cadence in PCG iterations
 	// (default solver.DefaultCheckEvery).
 	CheckEvery int
@@ -171,13 +180,53 @@ func NewSparsifier(ctx context.Context, g *graph.Graph, cfg Config) (*Sparsifier
 		shift = res.Shift
 	}
 
-	pen, err := NewPencil(g, s.sub, shift)
+	builder, err := s.precondBuilder(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pen, err := NewPencilWith(g, s.sub, shift, builder)
 	if err != nil {
 		return nil, err
 	}
 	s.pen = pen
 	s.buildTime = time.Since(start)
 	return s, nil
+}
+
+// precondBuilder resolves the configured preconditioner strategy into a
+// concrete builder. Auto picks Schwarz exactly when a sharded build left
+// its cluster assignment behind (an abandoned plan — the expander guard —
+// leaves none); an explicit Schwarz request on a monolithic or prebuilt
+// handle plans clusters on the sparsifier subgraph first, which is cheap:
+// the subgraph is tree-plus-α sparse.
+func (s *Sparsifier) precondBuilder(ctx context.Context, cfg Config) (precond.Builder, error) {
+	var assign []int
+	if s.res != nil && s.res.Shards != nil {
+		assign = s.res.Shards.Assign
+	}
+	kind := cfg.Precond
+	if kind == precond.Auto {
+		if assign != nil {
+			kind = precond.Schwarz
+		} else {
+			kind = precond.Monolithic
+		}
+	}
+	if kind != precond.Schwarz {
+		return precond.NewMonolithic(), nil
+	}
+	if assign == nil {
+		plan, err := shard.NewPlan(ctx, s.sub, shard.Options{
+			Shards:    cfg.Shards,
+			Threshold: cfg.ShardThreshold,
+			Sparsify:  cfg.Sparsify,
+		})
+		if err != nil {
+			return nil, wrapCanceled(err)
+		}
+		assign = plan.Assign
+	}
+	return precond.NewSchwarz(assign, precond.SchwarzOptions{Workers: cfg.Sparsify.Workers}), nil
 }
 
 // componentCount returns the number of connected components.
@@ -270,8 +319,14 @@ func (s *Sparsifier) SolveBatch(ctx context.Context, bs [][]float64) ([]*Solutio
 	return out, nil
 }
 
-// CondNumber estimates κ(L_G, L_P) by generalized Lanczos with the
-// configured step count and seed.
+// CondNumber estimates the largest generalized eigenvalue of the
+// preconditioned pencil by Lanczos with the configured step count and
+// seed: exactly κ(L_G, L_P) — the paper's quality metric — when the
+// handle carries the monolithic factorization, and the effective
+// condition number λmax(M⁻¹ L_G) PCG actually sees (Schwarz
+// decomposition penalty included) when it carries the sharded Schwarz
+// preconditioner (the Auto default for sharded builds). Force
+// precond.Monolithic to measure the paper's κ on a sharded build.
 func (s *Sparsifier) CondNumber(ctx context.Context) (float64, error) {
 	return s.CondNumberWith(ctx, s.cfg.LanczosSteps, s.cfg.Sparsify.Seed)
 }
@@ -283,8 +338,11 @@ func (s *Sparsifier) CondNumberWith(ctx context.Context, steps int, seed int64) 
 	return s.pen.CondNumberCtx(ctx, steps, seed)
 }
 
-// TraceProxy estimates Tr(L_P⁻¹ L_G) — the paper's condition-number proxy
-// (eq. 5) — with the configured probe count and seed.
+// TraceProxy estimates the trace of the preconditioned operator with a
+// Hutchinson estimator using the configured probe count and seed:
+// Tr(L_P⁻¹ L_G) — the paper's condition-number proxy (eq. 5) — under the
+// monolithic strategy, and Tr(M⁻¹ L_G) for the effective preconditioner
+// M under Schwarz (the Auto default for sharded builds; see CondNumber).
 func (s *Sparsifier) TraceProxy(ctx context.Context) (float64, error) {
 	return s.TraceProxyWith(ctx, s.cfg.TraceProbes, s.cfg.Sparsify.Seed)
 }
@@ -333,6 +391,13 @@ func (s *Sparsifier) Compact() {
 	if s.res != nil {
 		s.res.Tree = nil
 		s.res.InSub = nil
+		if s.res.Shards != nil {
+			// The per-vertex cluster assignment is plan scaffolding: the
+			// pencil's preconditioner has already captured the cluster
+			// structure it needs, and N ints per cached artifact is
+			// exactly the kind of dead weight Compact exists to shed.
+			s.res.Shards.Assign = nil
+		}
 	}
 }
 
@@ -358,9 +423,13 @@ func (s *Sparsifier) ShardStats() *sparsify.ShardStats {
 	return s.res.Shards
 }
 
-// Sharded reports whether the handle was built through the sharded
-// pipeline.
-func (s *Sparsifier) Sharded() bool { return s.ShardStats() != nil }
+// Sharded reports whether the handle was actually built through the
+// sharded pipeline. It is false when the expander guard abandoned the
+// plan and built monolithically — ShardStats still records that decision.
+func (s *Sparsifier) Sharded() bool {
+	st := s.ShardStats()
+	return st != nil && !st.Abandoned
+}
 
 // Pencil returns the prepared pencil for callers needing the raw
 // factorization (e.g. custom measurement loops).
@@ -376,8 +445,15 @@ func (s *Sparsifier) Config() Config { return s.cfg }
 // took.
 func (s *Sparsifier) BuildTime() time.Duration { return s.buildTime }
 
-// FactorNNZ reports the nonzeros of the preconditioner's Cholesky factor.
-func (s *Sparsifier) FactorNNZ() int { return s.pen.Factor.NNZ() }
+// PrecondStats reports how the pencil's preconditioner was built: the
+// strategy, per-cluster factor nonzeros, coarse system size, and build
+// time. Never nil.
+func (s *Sparsifier) PrecondStats() *precond.Stats { return s.pen.PreStats }
 
-// MemBytes reports the preconditioner factor's storage footprint.
-func (s *Sparsifier) MemBytes() int64 { return s.pen.Factor.MemBytes() }
+// FactorNNZ reports the total nonzeros across the preconditioner's
+// Cholesky factors (one monolithic factor, or every Schwarz cluster
+// factor).
+func (s *Sparsifier) FactorNNZ() int { return int(s.pen.PreStats.FactorNNZ) }
+
+// MemBytes reports the preconditioner's storage footprint.
+func (s *Sparsifier) MemBytes() int64 { return s.pen.PreStats.MemBytes }

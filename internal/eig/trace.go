@@ -26,6 +26,14 @@ func TraceEst(lg *sparse.CSC, fs *chol.Factor, probes int, seed int64) float64 {
 // every probe (each probe costs one matrix-vector product and one
 // factorized solve). On cancellation it returns the context error and zero.
 func TraceEstCtx(ctx context.Context, lg *sparse.CSC, fs *chol.Factor, probes int, seed int64) (float64, error) {
+	return TraceEstApplyCtx(ctx, lg, func(x, y []float64) { fs.SolveTo(x, y) }, probes, seed)
+}
+
+// TraceEstApplyCtx is the Apply-only counterpart of TraceEstCtx: it
+// estimates Tr(M⁻¹ L_G) for any SPD operator M given just the application
+// x = M⁻¹ y. Probe vectors and accumulation are identical to the factored
+// path, so the two agree exactly when apply wraps the same factorization.
+func TraceEstApplyCtx(ctx context.Context, lg *sparse.CSC, apply func(x, y []float64), probes int, seed int64) (float64, error) {
 	n := lg.Cols
 	if probes <= 0 {
 		probes = 30
@@ -46,8 +54,8 @@ func TraceEstCtx(ctx context.Context, lg *sparse.CSC, fs *chol.Factor, probes in
 				z[i] = -1
 			}
 		}
-		lg.MulVec(z, y)  // y = L_G z
-		fs.SolveTo(x, y) // x = L_S⁻¹ L_G z
+		lg.MulVec(z, y) // y = L_G z
+		apply(x, y)     // x = M⁻¹ L_G z
 		for i := range z {
 			sum += z[i] * x[i]
 		}

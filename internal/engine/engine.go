@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/precond"
 	"repro/internal/shard"
 	"repro/internal/sparsify"
 )
@@ -77,6 +78,10 @@ type Options struct {
 	// Shards is the default cluster count K for sharded builds (0 = auto
 	// from the effective threshold).
 	Shards int
+	// Precond is the default preconditioner construction strategy for
+	// built artifacts (precond.Auto picks Schwarz for sharded builds and
+	// monolithic otherwise; see core.Config.Precond).
+	Precond precond.Kind
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +160,9 @@ func (e *Engine) Lookup(key string) (*Artifact, bool) {
 type BuildOpts struct {
 	ShardThreshold int
 	Shards         int
+	// Precond overrides the engine's preconditioner strategy for this
+	// build (precond.Auto inherits; the HTTP layer maps ?precond= here).
+	Precond precond.Kind
 }
 
 // resolveBuild computes the effective core configuration, the store key,
@@ -192,11 +200,16 @@ func (e *Engine) resolveBuild(g *graph.Graph, fp Fingerprint, bo BuildOpts) (cor
 			threshold = e.opts.MaxVertices
 		}
 	}
+	kind := bo.Precond
+	if kind == precond.Auto {
+		kind = e.opts.Precond
+	}
 	cfg := core.Config{
 		Sparsify:       e.opts.Sparsify,
 		MaxVertices:    hard,
 		ShardThreshold: threshold,
 		Shards:         shards,
+		Precond:        kind,
 	}
 	key := fp.Key()
 	if threshold > 0 && g.N > threshold {
@@ -210,6 +223,13 @@ func (e *Engine) resolveBuild(g *graph.Graph, fp Fingerprint, bo BuildOpts) (cor
 			shard.Options{Shards: shards, Threshold: threshold})
 		cfg.Shards = resolved
 		key = fmt.Sprintf("%s-st%d-k%d", key, threshold, resolved)
+	}
+	if kind != precond.Auto {
+		// An explicit strategy is part of the artifact identity: the same
+		// graph solved through a Schwarz and a monolithic preconditioner
+		// is two different factorizations. Auto stays keyless so default
+		// traffic keeps hitting the same entries as before.
+		key = fmt.Sprintf("%s-p%s", key, kind)
 	}
 	return cfg, key, nil
 }
@@ -321,8 +341,15 @@ func (e *Engine) build(g *graph.Graph, fp Fingerprint, key string, cfg core.Conf
 	h.Compact()
 	e.c.builds.Add(1)
 	if st := h.ShardStats(); st != nil {
-		e.c.shardedBuilds.Add(1)
-		e.c.shardsBuilt.Add(int64(st.Shards))
+		if st.Abandoned {
+			e.c.abandonedPlans.Add(1)
+		} else {
+			e.c.shardedBuilds.Add(1)
+			e.c.shardsBuilt.Add(int64(st.Shards))
+		}
+	}
+	if ps := h.PrecondStats(); ps != nil && ps.Kind == precond.Schwarz.String() {
+		e.c.schwarzPreconds.Add(1)
 	}
 	c.art = &Artifact{
 		Fingerprint: fp,
@@ -350,13 +377,19 @@ type SolveResult struct {
 // factorization, building the artifact first if needed. tol ≤ 0 selects
 // 1e-6.
 func (e *Engine) Solve(ctx context.Context, g *graph.Graph, b []float64, tol float64) (*SolveResult, error) {
+	return e.SolveWith(ctx, g, b, tol, BuildOpts{})
+}
+
+// SolveWith is Solve with per-request build overrides (sharding,
+// preconditioner strategy) for the artifact construction.
+func (e *Engine) SolveWith(ctx context.Context, g *graph.Graph, b []float64, tol float64, bo BuildOpts) (*SolveResult, error) {
 	// Reject a mis-sized rhs before paying for sparsification and
 	// factorization; SolveArtifact re-checks for the by-key path.
 	if len(b) != g.N {
 		return nil, fmt.Errorf("engine: rhs has length %d, graph has %d vertices (%w)",
 			len(b), g.N, core.ErrDimension)
 	}
-	art, hit, err := e.Sparsify(ctx, g)
+	art, hit, err := e.SparsifyWith(ctx, g, bo)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/precond"
 )
 
 // TestShardedAdmissionAboveMaxVertices: a graph above MaxVertices — which
@@ -116,5 +117,83 @@ func TestLatencyPercentiles(t *testing.T) {
 	if s.P50LatencyMS > s.P95LatencyMS || s.P95LatencyMS > s.P99LatencyMS {
 		t.Fatalf("percentiles unordered: p50=%g p95=%g p99=%g",
 			s.P50LatencyMS, s.P95LatencyMS, s.P99LatencyMS)
+	}
+}
+
+// TestPrecondInKeyAndStats: an explicit preconditioner strategy is part
+// of the artifact identity; Auto traffic keeps its historical keys. The
+// engine counts Schwarz preconditioners as they are built.
+func TestPrecondInKeyAndStats(t *testing.T) {
+	g := gen.Grid2D(30, 30, 2)
+	e := New(Options{})
+	ctx := context.Background()
+
+	auto, _, err := e.Sparsify(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps := auto.Handle.PrecondStats(); ps == nil || ps.Kind != "monolithic" {
+		t.Fatalf("auto monolithic build reports precond %+v", auto.Handle.PrecondStats())
+	}
+	sch, hit, err := e.SparsifyWith(ctx, g, BuildOpts{Precond: precond.Schwarz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("explicit schwarz request must not hit the auto entry")
+	}
+	if auto.Key == sch.Key {
+		t.Fatalf("auto and schwarz artifacts share key %q", auto.Key)
+	}
+	ps := sch.Handle.PrecondStats()
+	if ps == nil || ps.Kind != "schwarz" || ps.Clusters < 2 {
+		t.Fatalf("schwarz build reports precond %+v", ps)
+	}
+	if s := e.Stats(); s.SchwarzPreconds != 1 {
+		t.Fatalf("schwarz_preconds = %d, want 1", s.SchwarzPreconds)
+	}
+	// The Schwarz artifact solves.
+	b := make([]float64, g.N)
+	b[0], b[g.N-1] = 1, -1
+	r, err := e.SolveArtifact(ctx, sch, b, 1e-6)
+	if err != nil || !r.Converged {
+		t.Fatalf("solve through schwarz artifact: converged=%v err=%v", r != nil && r.Converged, err)
+	}
+	// Identical explicit request: cache hit on the strategy-suffixed key.
+	again, hit, err := e.SparsifyWith(ctx, g, BuildOpts{Precond: precond.Schwarz})
+	if err != nil || !hit || again != sch {
+		t.Fatalf("repeat schwarz request: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestShardedBuildGetsSchwarzAutomatically: above the shard threshold the
+// handle both builds sharded and carries the Schwarz preconditioner —
+// the plan is threaded through to the pencil without being re-derived.
+func TestShardedBuildGetsSchwarzAutomatically(t *testing.T) {
+	g := gen.Grid2D(40, 40, 1)
+	e := New(Options{ShardThreshold: 400})
+	art, _, err := e.Sparsify(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.Handle.Sharded() {
+		t.Fatal("build below threshold")
+	}
+	ps := art.Handle.PrecondStats()
+	if ps == nil || ps.Kind != "schwarz" {
+		t.Fatalf("sharded build precond = %+v, want schwarz", ps)
+	}
+	if ps.Clusters != art.Handle.ShardStats().Shards {
+		t.Fatalf("precond clusters %d != plan shards %d", ps.Clusters, art.Handle.ShardStats().Shards)
+	}
+	if ps.CoarseSize != ps.Clusters {
+		t.Fatalf("coarse size %d != clusters %d", ps.CoarseSize, ps.Clusters)
+	}
+	// Compact (already run by the engine) dropped the plan assignment.
+	if st := art.Handle.ShardStats(); st.Assign != nil {
+		t.Fatal("published artifact still pins the plan assignment")
+	}
+	if s := e.Stats(); s.SchwarzPreconds != 1 || s.ShardedBuilds != 1 {
+		t.Fatalf("stats: schwarz_preconds=%d sharded_builds=%d", s.SchwarzPreconds, s.ShardedBuilds)
 	}
 }

@@ -46,9 +46,14 @@ type Stats struct {
 	CacheLen  int   `json:"cache_len"`
 	CacheCap  int   `json:"cache_cap"`
 	// Sharded-pipeline behaviour: how many builds went through the
-	// partition-parallel path, and the total cluster count they produced.
-	ShardedBuilds int64 `json:"sharded_builds"`
-	ShardsBuilt   int64 `json:"shards_built"`
+	// partition-parallel path, the total cluster count they produced,
+	// how many plans the expander guard abandoned (high cut fraction →
+	// monolithic fallback), and how many artifacts carry an
+	// additive-Schwarz preconditioner instead of a monolithic factor.
+	ShardedBuilds   int64 `json:"sharded_builds"`
+	ShardsBuilt     int64 `json:"shards_built"`
+	AbandonedPlans  int64 `json:"abandoned_plans"`
+	SchwarzPreconds int64 `json:"schwarz_preconds"`
 	// Job behaviour.
 	Jobs      int64 `json:"jobs_total"`
 	InFlight  int64 `json:"jobs_in_flight"`
@@ -113,29 +118,33 @@ func (s Stats) HitRate() float64 {
 
 // counters aggregates the engine's mutable telemetry.
 type counters struct {
-	hits          atomic.Int64
-	misses        atomic.Int64
-	builds        atomic.Int64
-	shardedBuilds atomic.Int64
-	shardsBuilt   atomic.Int64
-	jobs          atomic.Int64
-	inFlight      atomic.Int64
-	timeouts      atomic.Int64
-	jobErrors     atomic.Int64
-	latency       histogram
+	hits            atomic.Int64
+	misses          atomic.Int64
+	builds          atomic.Int64
+	shardedBuilds   atomic.Int64
+	shardsBuilt     atomic.Int64
+	abandonedPlans  atomic.Int64
+	schwarzPreconds atomic.Int64
+	jobs            atomic.Int64
+	inFlight        atomic.Int64
+	timeouts        atomic.Int64
+	jobErrors       atomic.Int64
+	latency         histogram
 }
 
 func (c *counters) snapshot() Stats {
 	s := Stats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Builds:        c.builds.Load(),
-		ShardedBuilds: c.shardedBuilds.Load(),
-		ShardsBuilt:   c.shardsBuilt.Load(),
-		Jobs:          c.jobs.Load(),
-		InFlight:      c.inFlight.Load(),
-		Timeouts:      c.timeouts.Load(),
-		JobErrors:     c.jobErrors.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Builds:          c.builds.Load(),
+		ShardedBuilds:   c.shardedBuilds.Load(),
+		ShardsBuilt:     c.shardsBuilt.Load(),
+		AbandonedPlans:  c.abandonedPlans.Load(),
+		SchwarzPreconds: c.schwarzPreconds.Load(),
+		Jobs:            c.jobs.Load(),
+		InFlight:        c.inFlight.Load(),
+		Timeouts:        c.timeouts.Load(),
+		JobErrors:       c.jobErrors.Load(),
 	}
 	counts := make([]int64, len(c.latency.counts))
 	for i := range c.latency.counts {

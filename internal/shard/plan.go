@@ -27,6 +27,8 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chol"
@@ -54,6 +56,12 @@ type Options struct {
 	// bisection (default 4; planning needs an ordering, not an
 	// eigenvector, so a handful of rounds suffices).
 	FiedlerSteps int
+	// MaxCutFraction is the expander guard's ceiling on the planned
+	// cut-edge share of the input edges: a plan cutting more than this
+	// fraction is abandoned by Sparsify in favour of a monolithic build
+	// (the stitch would cost more than the parallelism saves). 0 selects
+	// DefaultMaxCutFraction; negative disables the guard.
+	MaxCutFraction float64
 	// Sparsify configures the per-cluster construction and the global
 	// recovery round (zero value = the paper's parameters). Workers also
 	// bounds the cluster-level pool.
@@ -146,6 +154,12 @@ type Plan struct {
 // Fiedler ordering does not preserve connectivity) are split into their
 // components, so K can exceed the planned k slightly; every returned
 // cluster is connected, which the per-cluster sparsifier requires.
+//
+// Sibling bisections of the recursion are independent and run
+// concurrently on the same bounded worker pool Run uses
+// (Options.Sparsify.Workers); the resulting plan is identical to a
+// sequential one — cluster numbering is canonicalized by vertex order
+// after the recursion, so scheduling cannot leak into the partition.
 func NewPlan(ctx context.Context, g *graph.Graph, opts Options) (*Plan, error) {
 	if g == nil || g.N < 1 {
 		return nil, fmt.Errorf("shard: nil or empty graph")
@@ -158,10 +172,7 @@ func NewPlan(ctx context.Context, g *graph.Graph, opts Options) (*Plan, error) {
 	start := time.Now()
 
 	p := &Plan{Planned: k, Assign: make([]int, g.N)}
-	pl := &planner{g: g, opts: opts, plan: p, localID: make([]int, g.N)}
-	for i := range pl.localID {
-		pl.localID[i] = -1
-	}
+	pl := newPlanner(g, opts, p, workers)
 	all := make([]int, g.N)
 	for i := range all {
 		all[i] = i
@@ -169,6 +180,7 @@ func NewPlan(ctx context.Context, g *graph.Graph, opts Options) (*Plan, error) {
 	if err := pl.split(ctx, all, k); err != nil {
 		return nil, err
 	}
+	p.FallbackSplits = int(pl.fallbacks.Load())
 	if err := p.componentize(g); err != nil {
 		return nil, err
 	}
@@ -176,26 +188,45 @@ func NewPlan(ctx context.Context, g *graph.Graph, opts Options) (*Plan, error) {
 	return p, nil
 }
 
-// planner carries the recursion state of NewPlan: one scratch global→local
-// id array reused by every induced-subgraph build (planning is
-// sequential, so a single scratch is safe).
+// planner carries the recursion state of NewPlan. Sibling subtrees may run
+// on different goroutines (bounded by sem), so the global→local scratch
+// arrays are pooled, cluster ids come from an atomic counter, and the
+// fallback count is atomic; Assign writes are per-vertex disjoint across
+// subtrees by construction.
 type planner struct {
-	g       *graph.Graph
-	opts    Options
-	plan    *Plan
-	localID []int
-	nextID  int
+	g         *graph.Graph
+	opts      Options
+	plan      *Plan
+	sem       chan struct{} // spare worker slots (capacity workers-1)
+	nextID    atomic.Int64
+	fallbacks atomic.Int64
+	scratch   sync.Pool // *[]int, len g.N, all -1 between uses
+}
+
+func newPlanner(g *graph.Graph, opts Options, p *Plan, workers int) *planner {
+	if workers < 1 {
+		workers = 1
+	}
+	pl := &planner{g: g, opts: opts, plan: p, sem: make(chan struct{}, workers-1)}
+	pl.scratch.New = func() any {
+		s := make([]int, g.N)
+		for i := range s {
+			s[i] = -1
+		}
+		return &s
+	}
+	return pl
 }
 
 // split assigns the vertices in verts to `parts` cluster ids by recursive
-// bisection.
+// bisection, offloading the left subtree to a pooled goroutine when a
+// worker slot is free and recursing inline otherwise.
 func (pl *planner) split(ctx context.Context, verts []int, parts int) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("shard: planning: %w", err)
 	}
 	if parts <= 1 || len(verts) <= 1 {
-		id := pl.nextID
-		pl.nextID++
+		id := int(pl.nextID.Add(1)) - 1
 		for _, v := range verts {
 			pl.plan.Assign[v] = id
 		}
@@ -215,10 +246,29 @@ func (pl *planner) split(ctx context.Context, verts []int, parts int) error {
 	if cut >= len(order) {
 		cut = len(order) - 1
 	}
-	if err := pl.split(ctx, order[:cut], p1); err != nil {
-		return err
+	left, right := order[:cut], order[cut:]
+	select {
+	case pl.sem <- struct{}{}:
+		var wg sync.WaitGroup
+		var lerr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-pl.sem }()
+			lerr = pl.split(ctx, left, p1)
+		}()
+		rerr := pl.split(ctx, right, parts-p1)
+		wg.Wait()
+		if lerr != nil {
+			return lerr
+		}
+		return rerr
+	default:
+		if err := pl.split(ctx, left, p1); err != nil {
+			return err
+		}
+		return pl.split(ctx, right, parts-p1)
 	}
-	return pl.split(ctx, order[cut:], parts-p1)
 }
 
 // splitOrder returns verts reordered so that a prefix/suffix cut yields a
@@ -231,13 +281,13 @@ func (pl *planner) splitOrder(ctx context.Context, verts []int) []int {
 		if local.N > fiedlerMaxVertices {
 			// Deliberate geometric split: counted with the fallbacks so
 			// telemetry shows how much of the plan was non-spectral.
-			pl.plan.FallbackSplits++
+			pl.fallbacks.Add(1)
 			return bfsOrder(local, verts)
 		}
 		if order, ok := fiedlerOrder(ctx, local, verts, pl.opts); ok {
 			return order
 		}
-		pl.plan.FallbackSplits++
+		pl.fallbacks.Add(1)
 	}
 	return bfsOrder(local, verts)
 }
@@ -247,15 +297,17 @@ func (pl *planner) splitOrder(ctx context.Context, verts []int) []int {
 // index → global edge index.
 func (pl *planner) induced(verts []int) (*graph.Graph, []int) {
 	g := pl.g
+	sp := pl.scratch.Get().(*[]int)
+	localID := *sp
 	for i, v := range verts {
-		pl.localID[v] = i
+		localID[v] = i
 	}
 	var edges []graph.Edge
 	var globalEdge []int
 	for i, v := range verts {
 		for p := g.AdjStart[v]; p < g.AdjStart[v+1]; p++ {
 			u := g.AdjTarget[p]
-			lu := pl.localID[u]
+			lu := localID[u]
 			if lu < 0 || lu <= i {
 				continue // outside the set, or counted from the other side
 			}
@@ -265,8 +317,9 @@ func (pl *planner) induced(verts []int) (*graph.Graph, []int) {
 		}
 	}
 	for _, v := range verts {
-		pl.localID[v] = -1
+		localID[v] = -1
 	}
+	pl.scratch.Put(sp)
 	// The emitted edges are valid, normalized (i < lu), and deduplicated
 	// by construction; FromNormalized also preserves their order exactly,
 	// which keeps globalEdge[j] aligned with Local.Edges[j] — callers map
@@ -394,11 +447,7 @@ func (p *Plan) componentize(g *graph.Graph) error {
 		byID[j] = append(byID[j], v)
 	}
 
-	localID := make([]int, g.N)
-	for i := range localID {
-		localID[i] = -1
-	}
-	pl := &planner{g: g, localID: localID}
+	pl := newPlanner(g, Options{}, p, 1)
 	final := 0
 	for _, verts := range byID {
 		local, _ := pl.induced(verts)

@@ -19,13 +19,47 @@ import (
 // most of the graph and the scoring machinery costs more than it removes.
 const tinyClusterEdges = 32
 
+// DefaultMaxCutFraction is the expander-guard ceiling when
+// Options.MaxCutFraction is unset: a plan whose cut edges exceed this
+// share of the input is abandoned in favour of a monolithic build.
+const DefaultMaxCutFraction = 0.5
+
 // Sparsify plans and runs the sharded pipeline in one call — the
 // large-graph counterpart of sparsify.SparsifyContext, returning the same
 // Result shape (with Result.Shards telemetry attached).
+//
+// An expander guard runs between the two phases: on graphs with no good
+// cuts (random geometric at high radius, social-style expanders) the
+// recursive bisection produces a plan whose cut-edge set rivals the graph
+// itself, and the stitch — a global recovery round over the cut — would
+// cost more than the per-cluster parallelism saves while degrading
+// quality. When the planned cut fraction exceeds Options.MaxCutFraction,
+// the build falls back to the monolithic path; the decision (and the
+// offending fraction) is recorded in Result.Shards with Abandoned set.
 func Sparsify(ctx context.Context, g *graph.Graph, opts Options) (*sparsify.Result, error) {
 	plan, err := NewPlan(ctx, g, opts)
 	if err != nil {
 		return nil, err
+	}
+	maxCut := opts.MaxCutFraction
+	if maxCut == 0 {
+		maxCut = DefaultMaxCutFraction
+	}
+	cutFrac := cutFractionOf(g, plan)
+	if maxCut > 0 && cutFrac > maxCut {
+		res, err := sparsify.SparsifyContext(ctx, g, opts.Sparsify)
+		if err != nil {
+			return nil, err
+		}
+		res.Shards = &sparsify.ShardStats{
+			Shards:         plan.K,
+			FallbackSplits: plan.FallbackSplits,
+			CutEdges:       len(plan.CutEdges),
+			CutFraction:    cutFrac,
+			Abandoned:      true,
+			PlanTime:       plan.PlanTime,
+		}
+		return res, nil
 	}
 	return Run(ctx, g, plan, opts)
 }
@@ -157,11 +191,13 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 			Shards:         plan.K,
 			FallbackSplits: plan.FallbackSplits,
 			CutEdges:       len(plan.CutEdges),
+			CutFraction:    cutFractionOf(g, plan),
 			CutRetained:    retained,
 			CutRecovered:   recovered,
 			PlanTime:       plan.PlanTime,
 			BuildTime:      buildTime,
 			StitchTime:     stitchTime,
+			Assign:         plan.Assign,
 			PerShard:       perShard,
 		},
 	}
@@ -188,6 +224,14 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 		res.Stats.Rounds = 1
 	}
 	return res, nil
+}
+
+// cutFractionOf returns the plan's cut-edge share of the input edges.
+func cutFractionOf(g *graph.Graph, plan *Plan) float64 {
+	if g.M() == 0 {
+		return 0
+	}
+	return float64(len(plan.CutEdges)) / float64(g.M())
 }
 
 // sparsifyCluster builds one cluster's sparsifier and marks its surviving

@@ -238,3 +238,78 @@ func TestShardedQualityWithin2x(t *testing.T) {
 		ms.Iterations, ss.Iterations, sharded.ShardStats().Shards,
 		sharded.ShardStats().CutEdges, sharded.ShardStats().CutRetained, sharded.ShardStats().CutRecovered)
 }
+
+// TestParallelPlanMatchesSequential: the concurrent recursive bisection
+// must produce exactly the plan the sequential one does — cluster ids are
+// canonicalized by vertex order after the recursion, so worker scheduling
+// cannot leak into the partition.
+func TestParallelPlanMatchesSequential(t *testing.T) {
+	g := gen.CircuitGrid(50, 50, 0.05, 13)
+	seq, err := shard.NewPlan(context.Background(), g, shard.Options{
+		Shards: 6, Sparsify: sparsify.Options{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := shard.NewPlan(context.Background(), g, shard.Options{
+		Shards: 6, Sparsify: sparsify.Options{Workers: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.K != par.K || seq.Planned != par.Planned || seq.FallbackSplits != par.FallbackSplits {
+		t.Fatalf("plans disagree: K %d vs %d, planned %d vs %d, fallbacks %d vs %d",
+			seq.K, par.K, seq.Planned, par.Planned, seq.FallbackSplits, par.FallbackSplits)
+	}
+	for v := range seq.Assign {
+		if seq.Assign[v] != par.Assign[v] {
+			t.Fatalf("vertex %d assigned to %d sequentially, %d in parallel", v, seq.Assign[v], par.Assign[v])
+		}
+	}
+	if len(seq.CutEdges) != len(par.CutEdges) {
+		t.Fatalf("cut sizes disagree: %d vs %d", len(seq.CutEdges), len(par.CutEdges))
+	}
+}
+
+// TestExpanderGuardAbandonsPlan: on a complete graph every bisection cuts
+// a constant fraction of all edges; the guard must detect the hopeless
+// plan and fall back to the monolithic path, recording the decision.
+func TestExpanderGuardAbandonsPlan(t *testing.T) {
+	const n = 64
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+		}
+	}
+	g := graph.MustNew(n, edges)
+
+	res, err := shard.Sparsify(context.Background(), g, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Shards
+	if st == nil {
+		t.Fatal("abandoned plan left no shard stats")
+	}
+	if !st.Abandoned {
+		t.Fatalf("guard did not fire: cut fraction %.2f over %d planned clusters", st.CutFraction, st.Shards)
+	}
+	if st.CutFraction <= shard.DefaultMaxCutFraction {
+		t.Fatalf("abandoned at cut fraction %.2f, below the %.2f ceiling", st.CutFraction, shard.DefaultMaxCutFraction)
+	}
+	if st.Assign != nil {
+		t.Fatal("abandoned plan must not thread an assignment to the pencil")
+	}
+	if !res.Sparsifier.Connected() {
+		t.Fatal("fallback monolithic sparsifier is disconnected")
+	}
+	// Disabling the guard forces the stitch through.
+	forced, err := shard.Sparsify(context.Background(), g, shard.Options{Shards: 4, MaxCutFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Shards.Abandoned {
+		t.Fatal("guard fired although disabled")
+	}
+}

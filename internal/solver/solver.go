@@ -8,14 +8,28 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/chol"
 	"repro/internal/sparse"
 )
 
-// Preconditioner applies z = M⁻¹ r.
+// Preconditioner applies z = M⁻¹ r. Implementations handed to long-lived
+// holders (core.Pencil, the serving engine's cached artifacts) must be
+// safe for concurrent Apply calls: a batch solve fans PCG across
+// goroutines against one shared preconditioner.
 type Preconditioner interface {
 	Apply(z, r []float64)
+}
+
+// Factored is implemented by preconditioners that are backed by a single
+// sparse Cholesky factorization of the preconditioning matrix. Callers
+// that have exact-factor algorithms available (the similarity-transform
+// Lanczos in internal/eig) type-assert against it and fall back to
+// Apply-only algorithms otherwise.
+type Factored interface {
+	Preconditioner
+	Factor() *chol.Factor
 }
 
 // Identity is the no-op preconditioner (plain CG).
@@ -48,19 +62,32 @@ func (j *Jacobi) Apply(z, r []float64) {
 }
 
 // CholPrecond applies a sparse Cholesky factorization (typically of the
-// sparsifier Laplacian) as the preconditioner.
+// sparsifier Laplacian) as the preconditioner. Scratch space is pooled,
+// so one CholPrecond may serve concurrent Apply calls.
 type CholPrecond struct {
-	F *chol.Factor
-	y []float64
+	F       *chol.Factor
+	scratch sync.Pool
 }
 
 // NewCholPrecond wraps a factor.
 func NewCholPrecond(f *chol.Factor) *CholPrecond {
-	return &CholPrecond{F: f, y: make([]float64, f.N)}
+	c := &CholPrecond{F: f}
+	c.scratch.New = func() any {
+		y := make([]float64, f.N)
+		return &y
+	}
+	return c
 }
 
 // Apply solves (L Lᵀ) z = r through the factor.
-func (c *CholPrecond) Apply(z, r []float64) { c.F.SolveToNoAlloc(z, r, c.y) }
+func (c *CholPrecond) Apply(z, r []float64) {
+	y := c.scratch.Get().(*[]float64)
+	c.F.SolveToNoAlloc(z, r, *y)
+	c.scratch.Put(y)
+}
+
+// Factor returns the underlying factorization (Factored).
+func (c *CholPrecond) Factor() *chol.Factor { return c.F }
 
 // Result reports the outcome of an iterative solve.
 type Result struct {

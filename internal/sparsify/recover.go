@@ -36,6 +36,23 @@ type ShardStats struct {
 	BuildTime  time.Duration // per-cluster sparsification (wall clock)
 	StitchTime time.Duration // forest + global recovery round
 
+	// Abandoned reports that the expander guard rejected the plan at
+	// plan time — the cut fraction exceeded the configured ceiling, so
+	// the build fell back to the monolithic path instead of paying the
+	// stitch for nothing. When set, the remaining fields describe the
+	// abandoned plan (so operators can see why), not a sharded build.
+	Abandoned bool
+	// CutFraction is the planned cut-edge share of the input edges —
+	// the quantity the expander guard thresholds.
+	CutFraction float64
+
+	// Assign is the plan's per-vertex cluster assignment, threaded
+	// through so the pencil can build the additive-Schwarz
+	// preconditioner over the same clusters. Nil when the plan was
+	// abandoned; dropped by Sparsifier.Compact once the preconditioner
+	// has captured the structure.
+	Assign []int
+
 	PerShard []ShardBuild
 }
 

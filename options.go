@@ -133,6 +133,17 @@ func WithShards(k int) Option {
 	return func(c *Config) { c.Shards = k }
 }
 
+// WithPrecond selects how the sparsifier-side preconditioner is built:
+// PrecondMonolithic (one Cholesky of the whole stitched sparsifier),
+// PrecondSchwarz (per-cluster factors plus a coarse cut-coupling
+// correction, factorized concurrently — the sharded pencil), or
+// PrecondAuto (the default: Schwarz when the graph was built through the
+// sharded pipeline, monolithic otherwise). Handles report the decision
+// and its cost via Sparsifier.PrecondStats.
+func WithPrecond(p Precond) Option {
+	return func(c *Config) { c.Precond = p }
+}
+
 // WithSparsifierGraph skips construction and adopts p as the sparsifier.
 // p must span the same vertex set as the input graph (ErrDimension
 // otherwise) and be connected (ErrDisconnected otherwise). Use it to

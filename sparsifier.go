@@ -24,7 +24,7 @@ import (
 // Methods: Solve, SolveTol, SolveBatch, CondNumber, TraceProxy, Fiedler,
 // Partition, plus ...With variants taking explicit steps/probes/seed and
 // accessors (N, SparsifierGraph, Result, Pencil, Shift, Config, BuildTime,
-// FactorNNZ, MemBytes).
+// FactorNNZ, MemBytes, ShardStats, PrecondStats).
 type Sparsifier = core.Sparsifier
 
 // Solution is the outcome of one preconditioned Solve.

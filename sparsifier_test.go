@@ -35,6 +35,9 @@ func TestOptionRoundTrip(t *testing.T) {
 		{"WithFiedlerTolerance", WithFiedlerTolerance(1e-7), func(c Config) any { return c.FiedlerTol }, 1e-7},
 		{"WithMaxVertices", WithMaxVertices(5000), func(c Config) any { return c.MaxVertices }, 5000},
 		{"WithCancelCheckEvery", WithCancelCheckEvery(8), func(c Config) any { return c.CheckEvery }, 8},
+		{"WithShardThreshold", WithShardThreshold(4000), func(c Config) any { return c.ShardThreshold }, 4000},
+		{"WithShards", WithShards(6), func(c Config) any { return c.Shards }, 6},
+		{"WithPrecond", WithPrecond(PrecondSchwarz), func(c Config) any { return c.Precond }, PrecondSchwarz},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -336,5 +339,78 @@ func TestHandleCarriesShift(t *testing.T) {
 	}
 	if k < 0.999 || k > 1.001 {
 		t.Errorf("κ(G,G) = %g under shared shift, want ≈1", k)
+	}
+}
+
+// TestPrecondStrategies: WithPrecond steers the pencil's preconditioner
+// construction end to end — every strategy solves the same system to the
+// same answer, and the handle reports how it was built.
+func TestPrecondStrategies(t *testing.T) {
+	ctx := context.Background()
+	g := Grid2D(30, 30, 2)
+	rng := rand.New(rand.NewSource(4))
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	mono, err := New(ctx, g, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps := mono.PrecondStats(); ps == nil || ps.Kind != "monolithic" || ps.FactorNNZ <= 0 {
+		t.Fatalf("monolithic PrecondStats = %+v", mono.PrecondStats())
+	}
+	if mono.FactorNNZ() != int(mono.PrecondStats().FactorNNZ) {
+		t.Fatal("FactorNNZ accessor disagrees with PrecondStats")
+	}
+
+	sch, err := New(ctx, g, WithSeed(1), WithPrecond(PrecondSchwarz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sch.PrecondStats()
+	if ps == nil || ps.Kind != "schwarz" || ps.Clusters < 2 || len(ps.PerClusterNNZ) != ps.Clusters {
+		t.Fatalf("schwarz PrecondStats = %+v", ps)
+	}
+
+	// A sharded build picks Schwarz automatically; forcing monolithic
+	// overrides it.
+	shardedAuto, err := New(ctx, g, WithSeed(1), WithShardThreshold(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := shardedAuto.PrecondStats().Kind; k != "schwarz" {
+		t.Fatalf("sharded auto precond = %q, want schwarz", k)
+	}
+	shardedMono, err := New(ctx, g, WithSeed(1), WithShardThreshold(300), WithPrecond(PrecondMonolithic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := shardedMono.PrecondStats().Kind; k != "monolithic" {
+		t.Fatalf("sharded forced-monolithic precond = %q", k)
+	}
+
+	var ref []float64
+	for _, s := range []*Sparsifier{mono, sch, shardedAuto, shardedMono} {
+		sol, err := s.Solve(ctx, b)
+		if err != nil || !sol.Converged {
+			t.Fatalf("%s solve: converged=%v err=%v", s.PrecondStats().Kind, sol != nil && sol.Converged, err)
+		}
+		if ref == nil {
+			ref = sol.X
+			continue
+		}
+		// All strategies solve the same L_G x = b; answers agree to the
+		// PCG tolerance scale.
+		var diff, norm float64
+		for i := range ref {
+			d := sol.X[i] - ref[i]
+			diff += d * d
+			norm += ref[i] * ref[i]
+		}
+		if diff > 1e-6*norm {
+			t.Fatalf("%s solution diverges: rel² = %g", s.PrecondStats().Kind, diff/norm)
+		}
 	}
 }

@@ -60,6 +60,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/precond"
 	"repro/internal/sparsify"
 )
 
@@ -106,6 +107,29 @@ type ShardStats = sparsify.ShardStats
 // ShardBuild is one cluster's build telemetry within ShardStats.
 type ShardBuild = sparsify.ShardBuild
 
+// Precond selects the preconditioner construction strategy for the
+// pencil's sparsifier side (see WithPrecond).
+type Precond = precond.Kind
+
+// Preconditioner construction strategies.
+const (
+	// PrecondAuto (default) picks Schwarz for sharded builds and the
+	// monolithic Cholesky otherwise.
+	PrecondAuto = precond.Auto
+	// PrecondMonolithic factorizes the whole sparsifier in one sparse
+	// Cholesky.
+	PrecondMonolithic = precond.Monolithic
+	// PrecondSchwarz builds the two-level additive-Schwarz
+	// preconditioner: one factor per cluster plus a coarse cut-coupling
+	// correction.
+	PrecondSchwarz = precond.Schwarz
+)
+
+// PrecondStats is the build telemetry of a handle's preconditioner:
+// strategy, per-cluster factor nonzeros, coarse system size, memory, and
+// build time (Sparsifier.PrecondStats).
+type PrecondStats = precond.Stats
+
 // EvalOptions configures Evaluate's measurements.
 //
 // Deprecated: build a handle with New and call CondNumber/Solve directly;
@@ -134,8 +158,10 @@ func Evaluate(g *Graph, opts Options, eopts EvalOptions) (*Outcome, error) {
 }
 
 // Pencil is a prepared regularized Laplacian pencil (L_G, L_P): shared
-// shift, assembled Laplacians, and the sparsifier's Cholesky factorization.
-// Handles built by New carry one; access it via Sparsifier.Pencil.
+// shift, assembled Laplacians, and a ready preconditioner for the
+// sparsifier side — one monolithic Cholesky factorization by default, or
+// the sharded additive-Schwarz preconditioner (see WithPrecond). Handles
+// built by New carry one; access it via Sparsifier.Pencil.
 type Pencil = core.Pencil
 
 // NewPencil prepares the pencil for g preconditioned by sparsifier. Pass
