@@ -426,6 +426,92 @@ func BenchmarkShardedPencil(b *testing.B) {
 	})
 }
 
+// BenchmarkIncrementalRebuild is the PR-5 acceptance benchmark: after a
+// cold sharded build of the 600×600 grid, a ≤1% edge delta confined to
+// one corner slab of the grid is applied two ways — "cold" rebuilds the
+// updated graph from scratch through the same sharded pipeline, while
+// "incremental" goes through Sparsifier.Update, which maps the delta
+// onto dirty clusters via the retained plan and adopts every clean
+// cluster's sparsifier and Schwarz factor verbatim. The gap is the
+// shard-level cache's payoff; reused-frac reports the cluster reuse the
+// acceptance criteria gate (≥ 80%), and pcg-iters the solve-quality cost
+// of the reuse (≤ 1.2× cold).
+func BenchmarkIncrementalRebuild(b *testing.B) {
+	ctx := context.Background()
+	// Same deliberately unscaled graph as the other sharded benchmarks:
+	// incremental rebuilds exist for graphs where a cold build hurts.
+	g := Grid2D(600, 600, 1)
+	opts := []Option{WithShardThreshold(g.N / 32), WithSeed(1), WithWorkers(4)}
+	base, err := New(ctx, g, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !base.Sharded() {
+		b.Fatal("base build did not take the sharded path")
+	}
+
+	// Reweight the edges of one corner slab of the grid — locality is the
+	// incremental workload's defining property — capped at 1% of |E|.
+	slab := 6 * 600 // six grid rows of vertices
+	capEdges := g.M() / 100
+	var d Delta
+	for _, e := range g.Edges {
+		if e.U < slab && e.V < slab {
+			d.Set = append(d.Set, Edge{U: e.U, V: e.V, W: e.W * 1.25})
+			if len(d.Set) == capEdges {
+				break
+			}
+		}
+	}
+	newG, err := d.Apply(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	rhs := make([]float64, g.N)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	reportIters := func(b *testing.B, s *Sparsifier) {
+		b.Helper()
+		sol, err := s.Solve(ctx, rhs)
+		if err != nil || !sol.Converged {
+			b.Fatalf("solve: converged=%v err=%v", sol != nil && sol.Converged, err)
+		}
+		b.ReportMetric(float64(sol.Iterations), "pcg-iters")
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		var s *Sparsifier
+		for i := 0; i < b.N; i++ {
+			var err error
+			if s, err = New(ctx, newG, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportIters(b, s)
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		var s *Sparsifier
+		for i := 0; i < b.N; i++ {
+			var err error
+			if s, err = base.Update(ctx, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := s.ShardStats()
+		if st == nil || !st.Incremental {
+			b.Fatal("update did not take the incremental path")
+		}
+		b.ReportMetric(float64(st.ClustersReused)/float64(st.Shards), "reused-frac")
+		b.ReportMetric(float64(s.PrecondStats().FactorsReused), "factors-reused")
+		reportIters(b, s)
+	})
+}
+
 // BenchmarkAblationBeta quantifies the β truncation depth tradeoff of
 // eq. (12): deeper BFS costs more scoring time without improving (and
 // often slightly worsening) batch selection quality.

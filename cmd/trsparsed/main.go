@@ -31,6 +31,7 @@ func main() {
 	addr := flag.String("addr", ":8372", "listen address")
 	workers := flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "max cached sparsifier artifacts")
+	clusterCache := flag.Int("cluster-cache", engine.DefaultClusterCacheSize, "max cached per-cluster artifacts for incremental /v2/update rebuilds (-1 disables)")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job timeout including queue wait (0 disables)")
 	maxVertices := flag.Int("max-vertices", 0, "vertex bound for a single monolithic build; larger graphs go through the sharded pipeline (0 disables)")
 	hardMaxVertices := flag.Int("hard-max-vertices", 0, "absolute admission cap, sharded path included (0 = 8x max-vertices)")
@@ -55,14 +56,15 @@ func main() {
 	}
 
 	eng := engine.New(engine.Options{
-		Workers:         *workers,
-		CacheSize:       *cacheSize,
-		JobTimeout:      *jobTimeout,
-		MaxVertices:     *maxVertices,
-		HardMaxVertices: *hardMaxVertices,
-		ShardThreshold:  *shardThreshold,
-		Shards:          *shards,
-		Sparsify:        sparsify.Options{Method: m, Alpha: *alpha, Rounds: *rounds, Seed: *seed},
+		Workers:          *workers,
+		CacheSize:        *cacheSize,
+		ClusterCacheSize: *clusterCache,
+		JobTimeout:       *jobTimeout,
+		MaxVertices:      *maxVertices,
+		HardMaxVertices:  *hardMaxVertices,
+		ShardThreshold:   *shardThreshold,
+		Shards:           *shards,
+		Sparsify:         sparsify.Options{Method: m, Alpha: *alpha, Rounds: *rounds, Seed: *seed},
 	})
 
 	srv := &http.Server{

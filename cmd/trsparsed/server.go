@@ -42,6 +42,7 @@ func newServer(eng *engine.Engine) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v2/sparsify", s.handleSparsify)
+	mux.HandleFunc("POST /v2/update", s.handleUpdate)
 	mux.HandleFunc("POST /v2/solve", s.handleSolve)
 	mux.HandleFunc("POST /v2/partition", s.handlePartition)
 	mux.HandleFunc("GET /v2/stats", s.handleStats)
@@ -308,6 +309,128 @@ func (s *server) handleSparsify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// updateRequest is an edge delta against a cached base artifact: set
+// adds or reweights edges ([u, v, w] triples), remove deletes them
+// ([u, v] pairs). The vertex set is fixed.
+type updateRequest struct {
+	Key    string       `json:"key"`
+	Set    [][3]float64 `json:"set,omitempty"`
+	Remove [][2]float64 `json:"remove,omitempty"`
+}
+
+func (r *updateRequest) toDelta() (graph.Delta, error) {
+	var d graph.Delta
+	for i, e := range r.Set {
+		if e[0] != math.Trunc(e[0]) || e[1] != math.Trunc(e[1]) {
+			return d, fmt.Errorf("set %d has non-integer endpoints [%g, %g]", i, e[0], e[1])
+		}
+		d.Set = append(d.Set, graph.Edge{U: int(e[0]), V: int(e[1]), W: e[2]})
+	}
+	for i, e := range r.Remove {
+		if e[0] != math.Trunc(e[0]) || e[1] != math.Trunc(e[1]) {
+			return d, fmt.Errorf("remove %d has non-integer endpoints [%g, %g]", i, e[0], e[1])
+		}
+		d.Remove = append(d.Remove, [2]int{int(e[0]), int(e[1])})
+	}
+	return d, nil
+}
+
+// reuseInfo is the response-side summary of what an incremental rebuild
+// avoided: which fraction of the plan's clusters adopted their cached
+// sparsifier verbatim, and how many Schwarz factors were reused.
+type reuseInfo struct {
+	// Incremental is false when the rebuild fell back to a full build
+	// (monolithic base, rebalance guard replan, or abandoned plan).
+	Incremental          bool    `json:"incremental"`
+	Clusters             int     `json:"clusters"`
+	ClustersReused       int     `json:"clusters_reused"`
+	ClusterReuseFraction float64 `json:"cluster_reuse_fraction"`
+	FactorsReused        int     `json:"factors_reused"`
+}
+
+func reuseInfoOf(art *engine.Artifact) *reuseInfo {
+	st := art.Handle.ShardStats()
+	if st == nil {
+		return &reuseInfo{}
+	}
+	ri := &reuseInfo{
+		Incremental:    st.Incremental,
+		Clusters:       st.Shards,
+		ClustersReused: st.ClustersReused,
+	}
+	if st.Shards > 0 {
+		ri.ClusterReuseFraction = float64(st.ClustersReused) / float64(st.Shards)
+	}
+	if ps := art.Handle.PrecondStats(); ps != nil {
+		ri.FactorsReused = ps.FactorsReused
+	}
+	return ri
+}
+
+type updateResponse struct {
+	// Key identifies the NEW artifact (the updated graph's fingerprint);
+	// BaseKey echoes the artifact the delta was applied to.
+	Key       string       `json:"key"`
+	BaseKey   string       `json:"base_key"`
+	N         int          `json:"n"`
+	M         int          `json:"m"`
+	EdgeCount int          `json:"sparsifier_edge_count"`
+	Cached    bool         `json:"cached"`
+	BuildMS   float64      `json:"build_ms"`
+	Reuse     *reuseInfo   `json:"reuse"`
+	Sharded   *shardInfo   `json:"sharded,omitempty"`
+	Precond   *precondInfo `json:"precond,omitempty"`
+}
+
+// handleUpdate serves the incremental rebuild path: POST a base artifact
+// key plus an edge delta, get back a new artifact for the updated graph
+// that reused every cluster the delta did not touch. The new artifact
+// replaces any whole-graph cache entry under the same key (see
+// MIGRATION.md).
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := requestCtx(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	var req updateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding JSON body: %w", err))
+		return
+	}
+	if req.Key == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing base artifact key"))
+		return
+	}
+	d, err := req.toDelta()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if d.Empty() {
+		writeErr(w, http.StatusBadRequest, errors.New("empty delta: pass set and/or remove"))
+		return
+	}
+	art, cached, err := s.eng.Update(ctx, req.Key, d)
+	if err != nil {
+		writeErr(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Key:       art.Key,
+		BaseKey:   req.Key,
+		N:         art.Fingerprint.N,
+		M:         art.Fingerprint.M,
+		EdgeCount: art.SparsifierGraph().M(),
+		Cached:    cached,
+		BuildMS:   float64(art.BuildTime) / float64(time.Millisecond),
+		Reuse:     reuseInfoOf(art),
+		Sharded:   shardInfoOf(art),
+		Precond:   precondInfoOf(art),
+	})
+}
+
 type solveRequest struct {
 	// Key references an artifact from a previous /v1/sparsify response;
 	// alternatively pass the graph inline.
@@ -494,6 +617,8 @@ func classify(err error) (int, string) {
 		return http.StatusRequestEntityTooLarge, "too_large"
 	case errors.Is(err, core.ErrDimension):
 		return http.StatusBadRequest, "dimension"
+	case errors.Is(err, engine.ErrUnknownKey):
+		return http.StatusNotFound, "unknown_key"
 	case errors.Is(err, engine.ErrInternal):
 		return http.StatusInternalServerError, "internal"
 	}

@@ -632,3 +632,91 @@ func TestV2PrecondParam(t *testing.T) {
 		t.Fatalf("bad precond code = %q", e.Code)
 	}
 }
+
+// TestV2Update: the incremental rebuild endpoint — sparsify a sharded
+// graph, POST an edge delta against its key, and check the new artifact
+// reports cluster reuse, lands under the updated graph's own key, and
+// solves. Unknown keys and malformed deltas get structured errors.
+func TestV2Update(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 4, CacheSize: 8, ShardThreshold: 400})
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+
+	g := gen.Grid2D(40, 40, 1)
+	var sp sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify?edges=false", graphRequest(g), &sp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sparsify status %d", resp.StatusCode)
+	}
+	if sp.Sharded == nil {
+		t.Fatal("base build not sharded")
+	}
+
+	var up updateResponse
+	resp := postJSON(t, ts.URL+"/v2/update", updateRequest{
+		Key: sp.Key,
+		Set: [][3]float64{{0, 1, 5}},
+	}, &up)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+	if up.Key == sp.Key || up.BaseKey != sp.Key {
+		t.Fatalf("keys: new=%q base=%q (base submitted %q)", up.Key, up.BaseKey, sp.Key)
+	}
+	if up.Cached {
+		t.Fatal("first update reported cached")
+	}
+	if up.Reuse == nil || !up.Reuse.Incremental || up.Reuse.ClustersReused == 0 {
+		t.Fatalf("reuse block: %+v", up.Reuse)
+	}
+	if up.Reuse.ClusterReuseFraction <= 0 || up.Reuse.ClusterReuseFraction > 1 {
+		t.Fatalf("cluster_reuse_fraction = %g", up.Reuse.ClusterReuseFraction)
+	}
+	// Set of an existing edge reweights in place: same edge count, new key.
+	if up.M != g.M() {
+		t.Fatalf("updated graph m = %d, want %d", up.M, g.M())
+	}
+
+	// The new key solves by reference.
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = signOf(i)
+	}
+	var sol solveResponse
+	if resp := postJSON(t, ts.URL+"/v2/solve", solveRequest{Key: up.Key, B: b}, &sol); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	if !sol.Converged {
+		t.Fatalf("solve did not converge (relres %g)", sol.RelRes)
+	}
+
+	// Stats expose the incremental counters and the split histogram.
+	var st statsResponse
+	if resp, err := http.Get(ts.URL + "/v2/stats"); err != nil {
+		t.Fatal(err)
+	} else {
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.IncrementalBuilds != 1 || st.ClustersReused == 0 {
+		t.Fatalf("stats: incremental_builds=%d clusters_reused=%d", st.IncrementalBuilds, st.ClustersReused)
+	}
+
+	// Error taxonomy: unknown base key → 404 unknown_key; empty delta and
+	// absent-edge removal → 400/422.
+	var e errorResponse
+	if resp := postJSON(t, ts.URL+"/v2/update", updateRequest{
+		Key: "g9-9-0000000000000000", Set: [][3]float64{{0, 1, 1}},
+	}, &e); resp.StatusCode != http.StatusNotFound || e.Code != "unknown_key" {
+		t.Fatalf("unknown key: status %d code %q", resp.StatusCode, e.Code)
+	}
+	if resp := postJSON(t, ts.URL+"/v2/update", updateRequest{Key: sp.Key}, &e); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty delta: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v2/update", updateRequest{
+		Key: sp.Key, Remove: [][2]float64{{0, 999}},
+	}, &e); resp.StatusCode == http.StatusOK {
+		t.Fatal("removing an absent edge must fail")
+	}
+}

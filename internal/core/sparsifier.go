@@ -69,9 +69,29 @@ type Config struct {
 	// cost — and the monolithic Cholesky otherwise. precond.Schwarz on a
 	// monolithic build plans clusters on the sparsifier subgraph first.
 	Precond precond.Kind
+	// Overlap overrides the Schwarz preconditioner's overlap layers
+	// (0 keeps the adaptive default ≈ √(N/K)/4; negative disables
+	// overlap). Ignored by the monolithic strategy.
+	Overlap int
+	// Rebalance is the incremental rebuild's balance-guard factor: an
+	// Update whose delta grew any retained cluster past Rebalance × its
+	// fair edge share (M/K), or past Rebalance × its own base-build size,
+	// replans from scratch instead of reusing the stale plan. 0 selects
+	// shard.DefaultRebalanceFactor; negative disables the guard.
+	Rebalance float64
 	// CheckEvery is the cancellation poll cadence in PCG iterations
 	// (default solver.DefaultCheckEvery).
 	CheckEvery int
+
+	// Clusters and Factors are optional shared artifact caches for the
+	// sharded pipeline: per-cluster sparsifier edge sets keyed by cluster
+	// fingerprint, and per-cluster Schwarz factors under the same keys.
+	// The serving engine wires both to its cluster store so cold builds
+	// populate it and Update calls reuse it; handle-level Updates work
+	// without them (the base handle seeds a private cache) but populate
+	// them when present.
+	Clusters shard.ClusterCache
+	Factors  precond.FactorCache
 }
 
 // withDefaults fills measurement defaults (construction defaults are
@@ -165,6 +185,7 @@ func NewSparsifier(ctx context.Context, g *graph.Graph, cfg Config) (*Sparsifier
 				Shards:    cfg.Shards,
 				Threshold: cfg.ShardThreshold,
 				Sparsify:  cfg.Sparsify,
+				Cache:     cfg.Clusters,
 			})
 		} else {
 			res, err = sparsify.SparsifyContext(ctx, g, cfg.Sparsify)
@@ -201,8 +222,10 @@ func NewSparsifier(ctx context.Context, g *graph.Graph, cfg Config) (*Sparsifier
 // the subgraph is tree-plus-α sparse.
 func (s *Sparsifier) precondBuilder(ctx context.Context, cfg Config) (precond.Builder, error) {
 	var assign []int
+	var keys []string
 	if s.res != nil && s.res.Shards != nil {
 		assign = s.res.Shards.Assign
+		keys = s.res.Shards.ClusterKeys
 	}
 	kind := cfg.Precond
 	if kind == precond.Auto {
@@ -226,7 +249,12 @@ func (s *Sparsifier) precondBuilder(ctx context.Context, cfg Config) (precond.Bu
 		}
 		assign = plan.Assign
 	}
-	return precond.NewSchwarz(assign, precond.SchwarzOptions{Workers: cfg.Sparsify.Workers}), nil
+	return precond.NewSchwarz(assign, precond.SchwarzOptions{
+		Workers: cfg.Sparsify.Workers,
+		Overlap: cfg.Overlap,
+		Keys:    keys,
+		Cache:   cfg.Factors,
+	}), nil
 }
 
 // componentCount returns the number of connected components.
@@ -391,13 +419,10 @@ func (s *Sparsifier) Compact() {
 	if s.res != nil {
 		s.res.Tree = nil
 		s.res.InSub = nil
-		if s.res.Shards != nil {
-			// The per-vertex cluster assignment is plan scaffolding: the
-			// pencil's preconditioner has already captured the cluster
-			// structure it needs, and N ints per cached artifact is
-			// exactly the kind of dead weight Compact exists to shed.
-			s.res.Shards.Assign = nil
-		}
+		// The per-vertex cluster assignment and the cluster fingerprint
+		// keys deliberately survive Compact: they are what lets Update map
+		// a later edge delta onto dirty clusters and reuse the rest — N
+		// ints plus K short strings buys skipping most of a rebuild.
 	}
 }
 

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chol"
+	"repro/internal/graph"
+	"repro/internal/precond"
+	"repro/internal/shard"
+)
+
+// BaseGraph reconstructs the handle's input graph G from the assembled
+// pencil. The pencil deliberately does not retain the edge list (a cache
+// of handles should not pin every input graph), but L_G determines it
+// exactly: every off-diagonal entry is −w of one edge, and the shift
+// lives only on the diagonal — so the reconstruction is lossless,
+// including weights, at O(nnz) cost and no extra resident memory.
+func (s *Sparsifier) BaseGraph() *graph.Graph {
+	lg := s.pen.LG
+	edges := make([]graph.Edge, 0, (lg.NNZ()-lg.Cols)/2)
+	for j := 0; j < lg.Cols; j++ {
+		for q := lg.ColPtr[j]; q < lg.ColPtr[j+1]; q++ {
+			i := lg.RowIdx[q]
+			if i < j && lg.Val[q] < 0 {
+				edges = append(edges, graph.Edge{U: i, V: j, W: -lg.Val[q]})
+			}
+		}
+	}
+	// Emitted column-major with i < j: normalized, deduplicated, valid by
+	// construction of the Laplacian.
+	return graph.FromNormalized(lg.Cols, edges)
+}
+
+// Update builds a new handle for the graph that results from applying
+// delta d to this handle's input graph, reusing as much of this handle's
+// work as the delta allows. The receiver is unchanged (handles stay
+// immutable); the returned handle carries the same configuration.
+//
+// For a handle built through the sharded pipeline the rebuild is
+// incremental: the retained plan assignment maps the delta onto dirty
+// clusters, clean clusters' sparsifier edges and Schwarz factors are
+// adopted verbatim (ShardStats.ClustersReused / PrecondStats.FactorsReused
+// report how many), and only the dirty clusters, the stitch, and the
+// coarse solve are redone. Monolithic and prebuilt handles fall back to a
+// full rebuild — still a correct Update, with nothing reused.
+func (s *Sparsifier) Update(ctx context.Context, d graph.Delta) (*Sparsifier, error) {
+	newG, err := d.Apply(s.BaseGraph())
+	if err != nil {
+		return nil, fmt.Errorf("core: applying delta: %w", err)
+	}
+	return UpdateSparsifier(ctx, s, newG)
+}
+
+// UpdateSparsifier builds a handle for newG incrementally against base:
+// the explicit-graph form of Sparsifier.Update, for callers (the serving
+// engine) that already materialized the updated graph. newG must keep
+// base's vertex set for the plan to be reusable; a different vertex count
+// falls back to a full build.
+func UpdateSparsifier(ctx context.Context, base *Sparsifier, newG *graph.Graph) (*Sparsifier, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: update of nil handle")
+	}
+	cfg := base.cfg
+	st := base.ShardStats()
+	if st == nil || st.Abandoned || st.Assign == nil || newG == nil || newG.N != base.n {
+		// Nothing reusable (monolithic, prebuilt, abandoned plan, or a
+		// changed vertex set): a full rebuild is the correct Update.
+		return NewSparsifier(ctx, newG, cfg)
+	}
+	if cfg.MaxVertices > 0 && newG.N > cfg.MaxVertices {
+		return nil, fmt.Errorf("%w: graph has %d vertices, limit is %d", ErrTooLarge, newG.N, cfg.MaxVertices)
+	}
+	if !newG.Connected() {
+		return nil, fmt.Errorf("%w: updated graph with %d vertices and %d edges has %d components",
+			ErrDisconnected, newG.N, newG.M(), componentCount(newG))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCanceled(fmt.Errorf("core: updating sparsifier: %w", err))
+	}
+
+	start := time.Now()
+	// Seed a cache from the base handle's own artifacts, chained over the
+	// shared caches (if any), so Update reuses the base's work even with
+	// no engine behind it — and an engine-evicted cluster entry is
+	// re-served from the handle that still holds it.
+	hc := seedHandleCache(base, cfg.Clusters, cfg.Factors)
+	var baseEdges []int
+	for _, sb := range st.PerShard {
+		baseEdges = append(baseEdges, sb.Edges)
+	}
+	res, err := shard.SparsifyIncremental(ctx, newG, st.Assign, shard.Options{
+		Shards:           cfg.Shards,
+		Threshold:        cfg.ShardThreshold,
+		RebalanceFactor:  cfg.Rebalance,
+		BaseClusterEdges: baseEdges,
+		Sparsify:         cfg.Sparsify,
+		Cache:            hc,
+	})
+	if err != nil {
+		return nil, wrapCanceled(err)
+	}
+	out := &Sparsifier{cfg: cfg, n: newG.N, res: res, sub: res.Sparsifier}
+	pcfg := cfg
+	pcfg.Factors = hc
+	builder, err := out.precondBuilder(ctx, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	pen, err := NewPencilWith(newG, out.sub, res.Shift, builder)
+	if err != nil {
+		return nil, err
+	}
+	out.pen = pen
+	out.buildTime = time.Since(start)
+	return out, nil
+}
+
+// factorEntry is one cached Schwarz factor plus the extended index set it
+// was built over.
+type factorEntry struct {
+	idx []int
+	f   *chol.Factor
+}
+
+// handleCache backs an Update with the base handle's per-cluster
+// artifacts: cluster sparsifier edge sets recovered from the stitched
+// subgraph (intra-cluster edges partition exactly into the per-cluster
+// results) and Schwarz factors lifted from the base preconditioner. Reads
+// check the seeded maps first and fall through to the shared caches;
+// writes go to both, so the engine's store learns the rebuilt clusters.
+type handleCache struct {
+	mu       sync.Mutex
+	clusters map[string][][2]int
+	factors  map[string]factorEntry
+	extC     shard.ClusterCache
+	extF     precond.FactorCache
+}
+
+func seedHandleCache(base *Sparsifier, extC shard.ClusterCache, extF precond.FactorCache) *handleCache {
+	hc := &handleCache{
+		clusters: make(map[string][][2]int),
+		factors:  make(map[string]factorEntry),
+		extC:     extC,
+		extF:     extF,
+	}
+	st := base.ShardStats()
+	keys := st.ClusterKeys
+	if len(keys) != st.Shards {
+		return hc // keys unavailable (older artifact); chain-only cache
+	}
+	assign := st.Assign
+	byCluster := make([][][2]int, st.Shards)
+	for _, e := range base.sub.Edges {
+		if c := assign[e.U]; c == assign[e.V] {
+			byCluster[c] = append(byCluster[c], [2]int{e.U, e.V})
+		}
+	}
+	for c, pairs := range byCluster {
+		hc.clusters[keys[c]] = pairs
+	}
+	if sp, ok := base.pen.Pre.(*precond.SchwarzPrecond); ok && sp.NumClusters() == st.Shards {
+		for c := 0; c < st.Shards; c++ {
+			idx, f := sp.ClusterFactor(c)
+			if f != nil {
+				hc.factors[keys[c]] = factorEntry{idx: idx, f: f}
+			}
+		}
+	}
+	return hc
+}
+
+// Reads consult the shared cache first — its hit/miss accounting is the
+// operator-visible reuse signal — and fall back to the handle-seeded
+// maps, which also cover entries the shared LRU has since evicted.
+func (h *handleCache) GetCluster(key string) ([][2]int, bool) {
+	if h.extC != nil {
+		if pairs, ok := h.extC.GetCluster(key); ok {
+			return pairs, true
+		}
+	}
+	h.mu.Lock()
+	pairs, ok := h.clusters[key]
+	h.mu.Unlock()
+	return pairs, ok
+}
+
+func (h *handleCache) AddCluster(key string, edges [][2]int) {
+	h.mu.Lock()
+	h.clusters[key] = edges
+	h.mu.Unlock()
+	if h.extC != nil {
+		h.extC.AddCluster(key, edges)
+	}
+}
+
+func (h *handleCache) GetFactor(key string) (*chol.Factor, []int, bool) {
+	if h.extF != nil {
+		if f, idx, ok := h.extF.GetFactor(key); ok {
+			return f, idx, true
+		}
+	}
+	h.mu.Lock()
+	e, ok := h.factors[key]
+	h.mu.Unlock()
+	if ok {
+		return e.f, e.idx, true
+	}
+	return nil, nil, false
+}
+
+func (h *handleCache) AddFactor(key string, f *chol.Factor, idx []int) {
+	h.mu.Lock()
+	h.factors[key] = factorEntry{idx: idx, f: f}
+	h.mu.Unlock()
+	if h.extF != nil {
+		h.extF.AddFactor(key, f, idx)
+	}
+}

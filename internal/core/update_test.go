@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sparsify"
+)
+
+// TestBaseGraphRoundTrip: the input graph must be recoverable from the
+// assembled pencil exactly — same vertex count, same edge set, same
+// weights — since Update reconstructs it instead of pinning the edge
+// list in every cached handle.
+func TestBaseGraphRoundTrip(t *testing.T) {
+	g := gen.CircuitGrid(18, 18, 0.05, 9)
+	s, err := NewSparsifier(context.Background(), g, Config{Sparsify: sparsify.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := s.BaseGraph()
+	if back.N != g.N || back.M() != g.M() {
+		t.Fatalf("round trip: %d vertices / %d edges, want %d / %d", back.N, back.M(), g.N, g.M())
+	}
+	want := make(map[[2]int]float64, g.M())
+	for _, e := range g.Edges {
+		want[[2]int{e.U, e.V}] = e.W
+	}
+	for _, e := range back.Edges {
+		w, ok := want[[2]int{e.U, e.V}]
+		if !ok {
+			t.Fatalf("reconstructed edge (%d,%d) not in input", e.U, e.V)
+		}
+		if w != e.W {
+			t.Fatalf("edge (%d,%d) weight %g, want %g (must be bit-exact)", e.U, e.V, e.W, w)
+		}
+	}
+}
+
+// TestUpdateMonolithicFallsBack: Update on a monolithic handle is a full
+// rebuild — correct, nothing reused — and still honors validation.
+func TestUpdateMonolithicFallsBack(t *testing.T) {
+	ctx := context.Background()
+	g := gen.Grid2D(12, 12, 1)
+	s, err := NewSparsifier(ctx, g, Config{Sparsify: sparsify.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := s.Update(ctx, graph.Delta{Set: []graph.Edge{{U: 0, V: g.N - 1, W: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ShardStats() != nil {
+		t.Fatal("monolithic update claims shard telemetry")
+	}
+	if up.BaseGraph().M() != g.M()+1 {
+		t.Fatalf("updated graph has %d edges, want %d", up.BaseGraph().M(), g.M()+1)
+	}
+	// The original handle must be untouched.
+	if s.BaseGraph().M() != g.M() {
+		t.Fatal("update mutated the base handle")
+	}
+}
+
+// TestUpdateRejectsBadDeltas: invalid deltas surface as errors, and a
+// delta that disconnects the graph is refused with ErrDisconnected.
+func TestUpdateRejectsBadDeltas(t *testing.T) {
+	ctx := context.Background()
+	// A path graph: removing any edge disconnects it.
+	edges := []graph.Edge{}
+	n := 64
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1, W: 1})
+	}
+	g := graph.MustNew(n, edges)
+	s, err := NewSparsifier(ctx, g, Config{Sparsify: sparsify.Options{Seed: 1}, ShardThreshold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(ctx, graph.Delta{Remove: [][2]int{{5, 6}}}); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("disconnecting delta: err = %v, want ErrDisconnected", err)
+	}
+	if _, err := s.Update(ctx, graph.Delta{Remove: [][2]int{{0, 63}}}); err == nil {
+		t.Fatal("removing an absent edge must fail")
+	}
+	if _, err := s.Update(ctx, graph.Delta{Set: []graph.Edge{{U: 0, V: 1, W: -1}}}); err == nil {
+		t.Fatal("non-positive weight must fail")
+	}
+	if _, err := s.Update(ctx, graph.Delta{Set: []graph.Edge{{U: 0, V: n + 4, W: 1}}}); err == nil {
+		t.Fatal("out-of-range endpoint must fail")
+	}
+}

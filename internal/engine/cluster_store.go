@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chol"
+)
+
+// DefaultClusterCacheSize is the cluster-store capacity when
+// Options.ClusterCacheSize is unset. Sharded builds produce tens of
+// clusters each, so the cluster store runs much deeper than the
+// whole-graph artifact store.
+const DefaultClusterCacheSize = 1024
+
+// clusterEntry is one cluster's cached artifacts: the sparsifier edge
+// set as global endpoint pairs (shard.ClusterCache) and, once the pencil
+// has been built, the cluster's Schwarz factor with its extended index
+// set (precond.FactorCache). Both halves share one key — the cluster
+// fingerprint — and one LRU slot.
+type clusterEntry struct {
+	key       string
+	edges     [][2]int
+	factor    *chol.Factor
+	factorIdx []int
+}
+
+// ClusterStore is a mutex-guarded LRU of per-cluster artifacts keyed by
+// cluster fingerprint (shard.ClusterKey). It implements both
+// shard.ClusterCache and precond.FactorCache, so one store serves the
+// sparsifier-reuse and factor-reuse halves of an incremental rebuild; it
+// sits alongside the whole-graph Store, and entries outlive the
+// whole-graph artifacts they were built for (two graphs sharing an
+// untouched cluster share its entry).
+type ClusterStore struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used; values are *clusterEntry
+	items    map[string]*list.Element
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	evicted atomic.Int64
+}
+
+// NewClusterStore creates a store holding at most capacity cluster
+// entries (capacity ≤ 0 selects DefaultClusterCacheSize).
+func NewClusterStore(capacity int) *ClusterStore {
+	if capacity <= 0 {
+		capacity = DefaultClusterCacheSize
+	}
+	return &ClusterStore{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// touch returns the entry for key marked most recently used, or nil.
+// Counted lookups go through get.
+func (s *ClusterStore) get(key string, count bool) *clusterEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		if count {
+			s.misses.Add(1)
+		}
+		return nil
+	}
+	if count {
+		s.hits.Add(1)
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*clusterEntry)
+}
+
+// upsert applies fn to the (possibly fresh) entry for key under the lock
+// and evicts from the tail when over capacity.
+func (s *ClusterStore) upsert(key string, fn func(*clusterEntry)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		el = s.ll.PushFront(&clusterEntry{key: key})
+		s.items[key] = el
+	} else {
+		s.ll.MoveToFront(el)
+	}
+	fn(el.Value.(*clusterEntry))
+	for s.ll.Len() > s.capacity {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.items, tail.Value.(*clusterEntry).key)
+		s.evicted.Add(1)
+	}
+}
+
+// GetCluster implements shard.ClusterCache.
+func (s *ClusterStore) GetCluster(key string) ([][2]int, bool) {
+	if e := s.get(key, true); e != nil && e.edges != nil {
+		return e.edges, true
+	}
+	return nil, false
+}
+
+// AddCluster implements shard.ClusterCache.
+func (s *ClusterStore) AddCluster(key string, edges [][2]int) {
+	s.upsert(key, func(e *clusterEntry) { e.edges = edges })
+}
+
+// GetFactor implements precond.FactorCache. Factor lookups ride the same
+// entries but are not counted as cluster hits/misses — the headline
+// reuse metric is the sparsifier-rebuild one.
+func (s *ClusterStore) GetFactor(key string) (*chol.Factor, []int, bool) {
+	if e := s.get(key, false); e != nil && e.factor != nil {
+		return e.factor, e.factorIdx, true
+	}
+	return nil, nil, false
+}
+
+// AddFactor implements precond.FactorCache.
+func (s *ClusterStore) AddFactor(key string, f *chol.Factor, idx []int) {
+	s.upsert(key, func(e *clusterEntry) { e.factor, e.factorIdx = f, idx })
+}
+
+// Len returns the number of cached cluster entries.
+func (s *ClusterStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Capacity returns the configured maximum.
+func (s *ClusterStore) Capacity() int { return s.capacity }
+
+// Hits and Misses report counted sparsifier-edge lookups; Evictions the
+// entries dropped by LRU pressure.
+func (s *ClusterStore) Hits() int64      { return s.hits.Load() }
+func (s *ClusterStore) Misses() int64    { return s.misses.Load() }
+func (s *ClusterStore) Evictions() int64 { return s.evicted.Load() }

@@ -41,6 +41,10 @@ const DefaultHardCapFactor = 8
 // a 5xx status instead of blaming the request.
 var ErrInternal = errors.New("internal engine error")
 
+// ErrUnknownKey is returned by Update when the base artifact key is not
+// in the store (evicted or never built); servers map it to 404.
+var ErrUnknownKey = errors.New("engine: unknown artifact key")
+
 // Options configures an Engine. The zero value selects sensible defaults.
 type Options struct {
 	// Workers bounds the number of jobs (builds, solves, evaluations)
@@ -48,6 +52,12 @@ type Options struct {
 	Workers int
 	// CacheSize bounds resident artifacts (default DefaultCacheSize).
 	CacheSize int
+	// ClusterCacheSize bounds the per-cluster artifact store backing
+	// incremental rebuilds (default DefaultClusterCacheSize). Cold
+	// sharded builds populate it; Update calls reuse untouched clusters'
+	// sparsifiers and Schwarz factors from it. Negative disables
+	// cluster caching entirely.
+	ClusterCacheSize int
 	// JobTimeout bounds one request's total wait — queueing plus work —
 	// per job (0 disables). A timed-out build keeps running in the
 	// background and still fills the cache; only the waiting request
@@ -97,10 +107,11 @@ func (o Options) withDefaults() Options {
 // Engine runs sparsification and solve jobs on a bounded pool and caches
 // built artifacts. Safe for concurrent use.
 type Engine struct {
-	opts  Options
-	sem   chan struct{}
-	store *Store
-	c     counters
+	opts     Options
+	sem      chan struct{}
+	store    *Store
+	clusters *ClusterStore // nil when cluster caching is disabled
+	c        counters
 
 	mu       sync.Mutex
 	building map[string]*buildCall
@@ -118,13 +129,21 @@ type buildCall struct {
 // New creates an engine.
 func New(opts Options) *Engine {
 	o := opts.withDefaults()
-	return &Engine{
+	e := &Engine{
 		opts:     o,
 		sem:      make(chan struct{}, o.Workers),
 		store:    NewStore(o.CacheSize),
 		building: make(map[string]*buildCall),
 	}
+	if o.ClusterCacheSize >= 0 {
+		e.clusters = NewClusterStore(o.ClusterCacheSize)
+	}
+	return e
 }
+
+// ClusterStore returns the per-cluster artifact store (nil when disabled
+// via a negative Options.ClusterCacheSize).
+func (e *Engine) ClusterStore() *ClusterStore { return e.clusters }
 
 // Options returns the engine's resolved configuration.
 func (e *Engine) Options() Options { return e.opts }
@@ -135,6 +154,13 @@ func (e *Engine) Stats() Stats {
 	s.Evictions = e.store.Evictions()
 	s.CacheLen = e.store.Len()
 	s.CacheCap = e.store.Capacity()
+	if e.clusters != nil {
+		s.ClusterHits = e.clusters.Hits()
+		s.ClusterMisses = e.clusters.Misses()
+		s.ClusterEvictions = e.clusters.Evictions()
+		s.ClusterCacheLen = e.clusters.Len()
+		s.ClusterCacheCap = e.clusters.Capacity()
+	}
 	return s
 }
 
@@ -211,6 +237,12 @@ func (e *Engine) resolveBuild(g *graph.Graph, fp Fingerprint, bo BuildOpts) (cor
 		Shards:         shards,
 		Precond:        kind,
 	}
+	if e.clusters != nil {
+		// Wire the shared cluster store into every build, so cold sharded
+		// builds populate it and incremental rebuilds draw on it.
+		cfg.Clusters = e.clusters
+		cfg.Factors = e.clusters
+	}
 	key := fp.Key()
 	if threshold > 0 && g.N > threshold {
 		// Shard configuration is part of the artifact identity; the plain
@@ -279,7 +311,9 @@ func (e *Engine) SparsifyWith(ctx context.Context, g *graph.Graph, bo BuildOpts)
 		}
 		c = &buildCall{done: make(chan struct{})}
 		e.building[key] = c
-		go e.build(g, fp, key, cfg, c)
+		go e.build(fp, key, c, false, func(ctx context.Context) (*core.Sparsifier, error) {
+			return core.NewSparsifier(ctx, g, cfg)
+		})
 	}
 	e.mu.Unlock()
 	e.c.misses.Add(1)
@@ -295,20 +329,33 @@ func (e *Engine) SparsifyWith(ctx context.Context, g *graph.Graph, bo BuildOpts)
 	}
 }
 
-// build runs one artifact construction on the pool: it creates the same
-// core.Sparsifier handle the public API hands out and wraps it with the
-// fingerprint identity. It is detached from any single request's context:
-// once started, the build completes and fills the cache even if every
-// waiter timed out — the work is already paid for and the next request for
-// this graph becomes a hit.
-func (e *Engine) build(g *graph.Graph, fp Fingerprint, key string, cfg core.Config, c *buildCall) {
+// build runs one artifact construction on the pool: construct creates
+// the same core.Sparsifier handle the public API hands out (a cold
+// NewSparsifier, or an incremental UpdateSparsifier against a base
+// artifact) and build wraps it with the fingerprint identity. It is
+// detached from any single request's context: once started, the build
+// completes and fills the cache even if every waiter timed out — the
+// work is already paid for and the next request for this graph becomes a
+// hit. Incremental builds land in their own latency histogram so fast
+// delta rebuilds don't skew the cold-path percentiles.
+func (e *Engine) build(fp Fingerprint, key string, c *buildCall, fromUpdate bool, construct func(context.Context) (*core.Sparsifier, error)) {
 	enqueued := time.Now()
 	e.sem <- struct{}{}
 	e.c.jobs.Add(1)
 	e.c.inFlight.Add(1)
 	start := time.Now()
+	// Resolved after construction: an Update request whose rebuild fell
+	// back to a full build (monolithic base, rebalance replan, abandoned
+	// plan) costs cold-build time and must land in the cold histogram and
+	// counters, or the incremental percentiles stop describing delta
+	// rebuilds.
+	incremental := false
 	defer func() {
-		e.c.latency.observe(time.Since(enqueued))
+		hist := &e.c.latency
+		if incremental {
+			hist = &e.c.incLatency
+		}
+		hist.observe(time.Since(enqueued))
 		e.c.inFlight.Add(-1)
 		<-e.sem
 		e.mu.Lock()
@@ -329,7 +376,7 @@ func (e *Engine) build(g *graph.Graph, fp Fingerprint, key string, cfg core.Conf
 
 	// The build deliberately runs under context.Background(): detachment
 	// from the waiters' contexts is the whole point (see above).
-	h, err := core.NewSparsifier(context.Background(), g, cfg)
+	h, err := construct(context.Background())
 	if err != nil {
 		e.c.jobErrors.Add(1)
 		c.err = fmt.Errorf("engine: building %s: %w", key, err)
@@ -340,6 +387,10 @@ func (e *Engine) build(g *graph.Graph, fp Fingerprint, key string, cfg core.Conf
 	// Result would otherwise pin the whole input graph per cached entry.
 	h.Compact()
 	e.c.builds.Add(1)
+	if st := h.ShardStats(); fromUpdate && st != nil && st.Incremental {
+		incremental = true
+		e.c.incrementalBuilds.Add(1)
+	}
 	if st := h.ShardStats(); st != nil {
 		if st.Abandoned {
 			e.c.abandonedPlans.Add(1)
@@ -347,6 +398,7 @@ func (e *Engine) build(g *graph.Graph, fp Fingerprint, key string, cfg core.Conf
 			e.c.shardedBuilds.Add(1)
 			e.c.shardsBuilt.Add(int64(st.Shards))
 		}
+		e.c.clustersReused.Add(int64(st.ClustersReused))
 	}
 	if ps := h.PrecondStats(); ps != nil && ps.Kind == precond.Schwarz.String() {
 		e.c.schwarzPreconds.Add(1)
@@ -359,6 +411,75 @@ func (e *Engine) build(g *graph.Graph, fp Fingerprint, key string, cfg core.Conf
 		BuildTime:   time.Since(start),
 	}
 	e.store.Add(c.art)
+}
+
+// Update builds the artifact for "the base artifact's graph plus delta
+// d", reusing the base's plan and the cluster store: untouched clusters'
+// sparsifiers and Schwarz factors are adopted verbatim, only dirty
+// clusters and the stitch are redone. The new artifact is stored under
+// the updated graph's own fingerprint key — replacing any whole-graph
+// entry already cached under that key, so later plain Sparsify requests
+// for the updated graph hit the incremental artifact. The boolean
+// reports whether that key was already cached (in which case nothing was
+// rebuilt). Returns ErrUnknownKey when baseKey is not resident.
+func (e *Engine) Update(ctx context.Context, baseKey string, d graph.Delta) (*Artifact, bool, error) {
+	base, ok := e.store.Get(baseKey)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q (evicted or never built)", ErrUnknownKey, baseKey)
+	}
+	newG, err := d.Apply(base.Handle.BaseGraph())
+	if err != nil {
+		return nil, false, err
+	}
+	fp := FingerprintGraph(newG)
+	// The updated artifact inherits the base's build configuration, so
+	// its store key mirrors what a cold build of newG under the same
+	// overrides would use — that is what lets /v2/sparsify traffic for
+	// the updated graph hit it.
+	bcfg := base.Handle.Config()
+	_, key, err := e.resolveBuild(newG, fp, BuildOpts{
+		ShardThreshold: bcfg.ShardThreshold,
+		Shards:         bcfg.Shards,
+		Precond:        bcfg.Precond,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if art, ok := e.store.Get(key); ok {
+		e.c.hits.Add(1)
+		return art, true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		e.noteCtx(ctx)
+		return nil, false, err
+	}
+
+	e.mu.Lock()
+	c, ok := e.building[key]
+	if !ok {
+		if art, hit := e.store.Get(key); hit {
+			e.mu.Unlock()
+			e.c.hits.Add(1)
+			return art, true, nil
+		}
+		c = &buildCall{done: make(chan struct{})}
+		e.building[key] = c
+		go e.build(fp, key, c, true, func(ctx context.Context) (*core.Sparsifier, error) {
+			return core.UpdateSparsifier(ctx, base.Handle, newG)
+		})
+	}
+	e.mu.Unlock()
+	e.c.misses.Add(1)
+
+	ctx, cancel := e.jobCtx(ctx)
+	defer cancel()
+	select {
+	case <-c.done:
+		return c.art, false, c.err
+	case <-ctx.Done():
+		e.noteCtx(ctx)
+		return nil, false, ctx.Err()
+	}
 }
 
 // SolveResult is the outcome of one preconditioned solve.

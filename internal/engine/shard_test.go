@@ -189,9 +189,11 @@ func TestShardedBuildGetsSchwarzAutomatically(t *testing.T) {
 	if ps.CoarseSize != ps.Clusters {
 		t.Fatalf("coarse size %d != clusters %d", ps.CoarseSize, ps.Clusters)
 	}
-	// Compact (already run by the engine) dropped the plan assignment.
-	if st := art.Handle.ShardStats(); st.Assign != nil {
-		t.Fatal("published artifact still pins the plan assignment")
+	// Compact (already run by the engine) retains the plan assignment and
+	// cluster keys — the incremental Update path maps deltas through them.
+	if st := art.Handle.ShardStats(); st.Assign == nil || len(st.ClusterKeys) != st.Shards {
+		t.Fatalf("published artifact lost incremental scaffolding: assign=%v keys=%d shards=%d",
+			st.Assign != nil, len(st.ClusterKeys), st.Shards)
 	}
 	if s := e.Stats(); s.SchwarzPreconds != 1 || s.ShardedBuilds != 1 {
 		t.Fatalf("stats: schwarz_preconds=%d sharded_builds=%d", s.SchwarzPreconds, s.ShardedBuilds)

@@ -54,21 +54,41 @@ type Stats struct {
 	ShardsBuilt     int64 `json:"shards_built"`
 	AbandonedPlans  int64 `json:"abandoned_plans"`
 	SchwarzPreconds int64 `json:"schwarz_preconds"`
+	// Incremental-rebuild behaviour: delta rebuilds served, clusters
+	// whose cached sparsifier was adopted verbatim across all builds, and
+	// the cluster store's own hit/miss/eviction accounting (one lookup
+	// per planned cluster per sharded build).
+	IncrementalBuilds int64 `json:"incremental_builds"`
+	ClustersReused    int64 `json:"clusters_reused"`
+	ClusterHits       int64 `json:"cluster_hits"`
+	ClusterMisses     int64 `json:"cluster_misses"`
+	ClusterEvictions  int64 `json:"cluster_evictions"`
+	ClusterCacheLen   int   `json:"cluster_cache_len"`
+	ClusterCacheCap   int   `json:"cluster_cache_cap"`
 	// Job behaviour.
 	Jobs      int64 `json:"jobs_total"`
 	InFlight  int64 `json:"jobs_in_flight"`
 	Timeouts  int64 `json:"job_timeouts"`
 	JobErrors int64 `json:"job_errors"`
-	// Latency of completed jobs (queue wait + work). The percentiles are
-	// derived from the histogram by linear interpolation inside the
-	// containing bucket, so operators don't have to re-derive them
-	// client-side; observations landing in the +Inf bucket clamp to the
-	// largest finite bound.
+	// Latency of completed jobs (queue wait + work), EXCLUDING
+	// incremental delta rebuilds: those are fast by design, and folding
+	// them into the same buckets would drag the percentiles down until
+	// they stopped describing the cold path once delta traffic dominates.
+	// The percentiles are derived from the histogram by linear
+	// interpolation inside the containing bucket, so operators don't have
+	// to re-derive them client-side; observations landing in the +Inf
+	// bucket clamp to the largest finite bound.
 	MeanLatencyMS float64         `json:"mean_latency_ms"`
 	P50LatencyMS  float64         `json:"p50_latency_ms"`
 	P95LatencyMS  float64         `json:"p95_latency_ms"`
 	P99LatencyMS  float64         `json:"p99_latency_ms"`
 	Latency       []LatencyBucket `json:"latency_histogram"`
+	// The same latency block for incremental (Update) builds only.
+	IncrementalMeanLatencyMS float64         `json:"incremental_mean_latency_ms"`
+	IncrementalP50LatencyMS  float64         `json:"incremental_p50_latency_ms"`
+	IncrementalP95LatencyMS  float64         `json:"incremental_p95_latency_ms"`
+	IncrementalP99LatencyMS  float64         `json:"incremental_p99_latency_ms"`
+	IncrementalLatency       []LatencyBucket `json:"incremental_latency_histogram"`
 }
 
 // percentile estimates the q-quantile (0 < q < 1) in milliseconds from
@@ -118,48 +138,59 @@ func (s Stats) HitRate() float64 {
 
 // counters aggregates the engine's mutable telemetry.
 type counters struct {
-	hits            atomic.Int64
-	misses          atomic.Int64
-	builds          atomic.Int64
-	shardedBuilds   atomic.Int64
-	shardsBuilt     atomic.Int64
-	abandonedPlans  atomic.Int64
-	schwarzPreconds atomic.Int64
-	jobs            atomic.Int64
-	inFlight        atomic.Int64
-	timeouts        atomic.Int64
-	jobErrors       atomic.Int64
-	latency         histogram
+	hits              atomic.Int64
+	misses            atomic.Int64
+	builds            atomic.Int64
+	shardedBuilds     atomic.Int64
+	shardsBuilt       atomic.Int64
+	abandonedPlans    atomic.Int64
+	schwarzPreconds   atomic.Int64
+	incrementalBuilds atomic.Int64
+	clustersReused    atomic.Int64
+	jobs              atomic.Int64
+	inFlight          atomic.Int64
+	timeouts          atomic.Int64
+	jobErrors         atomic.Int64
+	latency           histogram
+	incLatency        histogram
 }
 
-func (c *counters) snapshot() Stats {
-	s := Stats{
-		Hits:            c.hits.Load(),
-		Misses:          c.misses.Load(),
-		Builds:          c.builds.Load(),
-		ShardedBuilds:   c.shardedBuilds.Load(),
-		ShardsBuilt:     c.shardsBuilt.Load(),
-		AbandonedPlans:  c.abandonedPlans.Load(),
-		SchwarzPreconds: c.schwarzPreconds.Load(),
-		Jobs:            c.jobs.Load(),
-		InFlight:        c.inFlight.Load(),
-		Timeouts:        c.timeouts.Load(),
-		JobErrors:       c.jobErrors.Load(),
-	}
-	counts := make([]int64, len(c.latency.counts))
-	for i := range c.latency.counts {
+// snapshotLatency renders one histogram into a bucket list, mean, and
+// interpolated percentiles.
+func snapshotLatency(h *histogram) (buckets []LatencyBucket, mean, p50, p95, p99 float64) {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
 		le := -1.0 // +Inf bucket
 		if i < len(latencyBucketsMS) {
 			le = latencyBucketsMS[i]
 		}
-		counts[i] = c.latency.counts[i].Load()
-		s.Latency = append(s.Latency, LatencyBucket{LE: le, Count: counts[i]})
+		counts[i] = h.counts[i].Load()
+		buckets = append(buckets, LatencyBucket{LE: le, Count: counts[i]})
 	}
-	if n := c.latency.n.Load(); n > 0 {
-		s.MeanLatencyMS = float64(c.latency.sumNS.Load()) / float64(n) / float64(time.Millisecond)
+	if n := h.n.Load(); n > 0 {
+		mean = float64(h.sumNS.Load()) / float64(n) / float64(time.Millisecond)
 	}
-	s.P50LatencyMS = percentile(counts, 0.50)
-	s.P95LatencyMS = percentile(counts, 0.95)
-	s.P99LatencyMS = percentile(counts, 0.99)
+	return buckets, mean, percentile(counts, 0.50), percentile(counts, 0.95), percentile(counts, 0.99)
+}
+
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		Builds:            c.builds.Load(),
+		ShardedBuilds:     c.shardedBuilds.Load(),
+		ShardsBuilt:       c.shardsBuilt.Load(),
+		AbandonedPlans:    c.abandonedPlans.Load(),
+		SchwarzPreconds:   c.schwarzPreconds.Load(),
+		IncrementalBuilds: c.incrementalBuilds.Load(),
+		ClustersReused:    c.clustersReused.Load(),
+		Jobs:              c.jobs.Load(),
+		InFlight:          c.inFlight.Load(),
+		Timeouts:          c.timeouts.Load(),
+		JobErrors:         c.jobErrors.Load(),
+	}
+	s.Latency, s.MeanLatencyMS, s.P50LatencyMS, s.P95LatencyMS, s.P99LatencyMS = snapshotLatency(&c.latency)
+	s.IncrementalLatency, s.IncrementalMeanLatencyMS, s.IncrementalP50LatencyMS,
+		s.IncrementalP95LatencyMS, s.IncrementalP99LatencyMS = snapshotLatency(&c.incLatency)
 	return s
 }

@@ -1,0 +1,99 @@
+package graph
+
+import "fmt"
+
+// Delta is an edge-level modification of a graph over a fixed vertex set:
+// Set adds new edges or replaces the weight of existing ones, Remove
+// deletes edges. It is the input of the incremental rebuild path — a
+// serving workload whose graph drifts a few edges at a time applies a
+// Delta instead of resubmitting the whole graph, so untouched clusters'
+// sparsifiers and factors can be reused.
+type Delta struct {
+	// Set lists edges to add (when absent) or reweight (when present).
+	// Endpoints are normalized like New's input; weights must be positive.
+	Set []Edge
+	// Remove lists edges to delete, as endpoint pairs. Removing an edge
+	// that is not present is an error (it usually means the caller's view
+	// of the base graph has drifted).
+	Remove [][2]int
+}
+
+// Empty reports whether the delta modifies nothing.
+func (d Delta) Empty() bool { return len(d.Set) == 0 && len(d.Remove) == 0 }
+
+// Size returns the number of edge modifications the delta carries.
+func (d Delta) Size() int { return len(d.Set) + len(d.Remove) }
+
+// Apply builds the graph that results from applying d to g. The vertex
+// set is unchanged; the result must still be validated for connectivity
+// by the caller (removals can disconnect it). Set semantics are
+// add-or-replace: setting an existing edge overwrites its weight rather
+// than summing (the natural "the conductance changed" update).
+func (d Delta) Apply(g *Graph) (*Graph, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graph: delta applied to nil graph")
+	}
+	// Position of each surviving base edge in the output list; -1 = dropped.
+	type key = [2]int
+	norm := func(u, v int) (key, error) {
+		if u < 0 || u >= g.N || v < 0 || v >= g.N {
+			return key{}, fmt.Errorf("graph: delta endpoint (%d,%d) out of range for n=%d", u, v, g.N)
+		}
+		if u == v {
+			return key{}, fmt.Errorf("graph: delta self loop at vertex %d", u)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		return key{u, v}, nil
+	}
+	at := make(map[key]int, len(d.Set)+len(d.Remove))
+	edges := append([]Edge(nil), g.Edges...)
+	dropped := make([]bool, len(edges))
+	for _, r := range d.Remove {
+		k, err := norm(r[0], r[1])
+		if err != nil {
+			return nil, err
+		}
+		e, ok := g.EdgeBetween(k[0], k[1])
+		if !ok {
+			return nil, fmt.Errorf("graph: delta removes absent edge (%d,%d)", r[0], r[1])
+		}
+		if dropped[e] {
+			return nil, fmt.Errorf("graph: delta removes edge (%d,%d) twice", r[0], r[1])
+		}
+		dropped[e] = true
+	}
+	var added []Edge
+	for _, e := range d.Set {
+		k, err := norm(e.U, e.V)
+		if err != nil {
+			return nil, err
+		}
+		if e.W <= 0 {
+			return nil, fmt.Errorf("graph: delta sets edge (%d,%d) to invalid weight %g", e.U, e.V, e.W)
+		}
+		if idx, ok := g.EdgeBetween(k[0], k[1]); ok && !dropped[idx] {
+			edges[idx].W = e.W
+			continue
+		}
+		if prev, ok := at[k]; ok {
+			added[prev].W = e.W // later Set of the same new edge wins
+			continue
+		}
+		at[k] = len(added)
+		added = append(added, Edge{U: k[0], V: k[1], W: e.W})
+	}
+	out := edges[:0:0]
+	for i, e := range edges {
+		if !dropped[i] {
+			out = append(out, e)
+		}
+	}
+	out = append(out, added...)
+	// The surviving base edges are normalized and deduplicated; added
+	// edges were checked against both the base and each other. New (rather
+	// than FromNormalized) is still used so a Set that resurrects a
+	// removed edge merges cleanly and validation stays in one place.
+	return New(g.N, out)
+}

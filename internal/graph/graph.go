@@ -181,6 +181,18 @@ func (g *Graph) WeightedDegree(u int) float64 {
 	return s
 }
 
+// EdgeBetween resolves an endpoint pair to its edge index via the
+// adjacency of u — O(deg u), no allocation; callers resolving many pairs
+// against small neighborhoods beat building an O(M) edge map.
+func (g *Graph) EdgeBetween(u, v int) (int, bool) {
+	for p := g.AdjStart[u]; p < g.AdjStart[u+1]; p++ {
+		if g.AdjTarget[p] == v {
+			return g.AdjEdge[p], true
+		}
+	}
+	return 0, false
+}
+
 // Neighbors calls fn(v, edgeIndex, w) for every half-edge (u, v).
 func (g *Graph) Neighbors(u int, fn func(v, edgeIdx int, w float64)) {
 	for p := g.AdjStart[u]; p < g.AdjStart[u+1]; p++ {

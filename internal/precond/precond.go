@@ -85,6 +85,10 @@ type Stats struct {
 	// Colors is the number of Schwarz sweep colors (same-color clusters
 	// are A-decoupled and apply together; 0 for monolithic).
 	Colors int
+	// FactorsReused counts per-cluster Schwarz factors adopted from the
+	// factor cache instead of being refactorized (0 for monolithic or
+	// cache-less builds).
+	FactorsReused int
 	// FactorNNZ totals the nonzeros across all sparse factors (the one
 	// monolithic factor, or every per-cluster factor).
 	FactorNNZ int64
@@ -136,3 +140,26 @@ func (monolithicBuilder) Build(a *sparse.CSC) (solver.Preconditioner, *Stats, er
 // ErrBadAssignment is returned by the Schwarz builder when the cluster
 // assignment does not cover the matrix.
 var ErrBadAssignment = errors.New("precond: cluster assignment does not match matrix dimension")
+
+// FactorCache stores per-cluster Cholesky factors keyed by cluster
+// fingerprint, for reuse across rebuilds of the same graph family. A
+// cached factor is adopted only when its extended index set matches the
+// new build's exactly; its *values* may lag the new matrix slightly (the
+// global shift, or stitch edges recovered near the boundary, can drift
+// without changing the cluster fingerprint). That is sound: a stale SPD
+// block inverse is still an SPD block inverse, so the symmetrized sweep
+// stays an SPD preconditioner and PCG still converges to the true
+// solution — at worst a few extra iterations, which the incremental
+// quality gate bounds.
+//
+// Implementations must be safe for concurrent use: the Schwarz builder
+// consults the cache from its factorization workers.
+type FactorCache interface {
+	// GetFactor returns the cached factor and its extended (sorted,
+	// global) index set for key.
+	GetFactor(key string) (*chol.Factor, []int, bool)
+	// AddFactor stores a factor under key. Both arguments are owned by
+	// the cache after the call (factors are immutable; idx is not
+	// mutated by the builder afterwards).
+	AddFactor(key string, f *chol.Factor, idx []int)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -29,6 +30,14 @@ type SchwarzOptions struct {
 	// Workers bounds the concurrent per-cluster factorizations
 	// (default GOMAXPROCS).
 	Workers int
+	// Keys, when non-empty, names each cluster (aligned with cluster
+	// ids) for factor caching — normally the shard plan's cluster
+	// fingerprints. Clusters with an empty key are never cached.
+	Keys []string
+	// Cache, when non-nil together with Keys, is consulted before each
+	// cluster is factorized and populated afterward; see FactorCache for
+	// the staleness contract.
+	Cache FactorCache
 }
 
 // Overlap clamps for the adaptive default.
@@ -163,6 +172,17 @@ func (p *SchwarzPrecond) Apply(z, r []float64) {
 	p.scratch.Put(s)
 }
 
+// NumClusters returns the number of per-cluster factors.
+func (p *SchwarzPrecond) NumClusters() int { return len(p.factors) }
+
+// ClusterFactor returns cluster c's extended (sorted, global) index set
+// and Cholesky factor — the handle-level Update path seeds its factor
+// cache from a base preconditioner through this. Both returns are shared,
+// immutable state; callers must not mutate them.
+func (p *SchwarzPrecond) ClusterFactor(c int) ([]int, *chol.Factor) {
+	return p.clusters[c], p.factors[c]
+}
+
 // residual computes t = r − A z (u is scratch for A z).
 func (p *SchwarzPrecond) residual(t, r, z, u []float64) {
 	p.a.MulVec(z, u)
@@ -289,9 +309,19 @@ func (b *schwarzBuilder) Build(a *sparse.CSC) (solver.Preconditioner, *Stats, er
 	p.colors = colorClusters(a, p.clusters, k)
 
 	// Phase 2 (concurrent on the worker pool): extract each extended
-	// cluster's principal submatrix and factorize it.
+	// cluster's principal submatrix and factorize it — or adopt a cached
+	// factor when the cluster's fingerprint key hits and the cached
+	// extended index set matches the freshly computed one exactly (a
+	// changed overlap geometry means the factor solves the wrong block).
 	nnz := make([]int, k)
 	errs := make([]error, k)
+	reused := make([]bool, k)
+	keyOf := func(c int) string {
+		if c < len(b.opts.Keys) {
+			return b.opts.Keys[c]
+		}
+		return ""
+	}
 	workers := b.opts.Workers
 	if workers > k {
 		workers = k
@@ -304,6 +334,15 @@ func (b *schwarzBuilder) Build(a *sparse.CSC) (solver.Preconditioner, *Stats, er
 			defer wg.Done()
 			local := make([]int, n) // global → local+1; 0 = absent
 			for c := range next {
+				key := keyOf(c)
+				if b.opts.Cache != nil && key != "" {
+					if f, idx, ok := b.opts.Cache.GetFactor(key); ok && slices.Equal(idx, p.clusters[c]) {
+						p.factors[c] = f
+						nnz[c] = f.NNZ()
+						reused[c] = true
+						continue
+					}
+				}
 				sub, err := principal(a, p.clusters[c], local)
 				if err != nil {
 					errs[c] = err
@@ -316,6 +355,9 @@ func (b *schwarzBuilder) Build(a *sparse.CSC) (solver.Preconditioner, *Stats, er
 				}
 				p.factors[c] = f
 				nnz[c] = f.NNZ()
+				if b.opts.Cache != nil && key != "" {
+					b.opts.Cache.AddFactor(key, f, p.clusters[c])
+				}
 			}
 		}()
 	}
@@ -331,6 +373,11 @@ func (b *schwarzBuilder) Build(a *sparse.CSC) (solver.Preconditioner, *Stats, er
 	}
 
 	st := &Stats{Kind: Schwarz.String(), Clusters: k, Colors: len(p.colors), PerClusterNNZ: nnz}
+	for _, r := range reused {
+		if r {
+			st.FactorsReused++
+		}
+	}
 	for c := range p.factors {
 		st.FactorNNZ += int64(nnz[c])
 		st.MemBytes += p.factors[c].MemBytes()

@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sparsify"
+)
+
+// DefaultRebalanceFactor is the incremental balance guard's ceiling when
+// Options.RebalanceFactor is unset: a retained cluster holding more than
+// this multiple of its fair edge share (M/K) forces a fresh plan.
+const DefaultRebalanceFactor = 4.0
+
+// PlanFromAssign rebuilds a Plan for g from a retained per-vertex cluster
+// assignment — the incremental path's replacement for the recursive
+// bisection. Clusters that a delta disconnected are split into their
+// components (exactly the repair a fresh plan gets), so every returned
+// cluster is connected; on an assignment whose clusters are all still
+// connected the rebuild is the identity and cluster ids — and therefore
+// per-cluster seeds and fingerprints — are preserved.
+func PlanFromAssign(g *graph.Graph, assign []int) (*Plan, error) {
+	if g == nil || g.N < 1 {
+		return nil, fmt.Errorf("shard: nil or empty graph")
+	}
+	if len(assign) != g.N {
+		return nil, fmt.Errorf("shard: assignment covers %d vertices, graph has %d", len(assign), g.N)
+	}
+	maxID := -1
+	for v, id := range assign {
+		if id < 0 {
+			return nil, fmt.Errorf("shard: vertex %d has negative cluster id %d", v, id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	start := time.Now()
+	p := &Plan{Planned: maxID + 1, Assign: append([]int(nil), assign...)}
+	// repair=false: the retained assignment already went through fragment
+	// repair at plan time; re-merging under this plan's (different)
+	// Planned-derived threshold could absorb a still-connected, unchanged
+	// cluster and shift every later cluster's id, seed, and fingerprint —
+	// silently collapsing reuse. Fragments a delta genuinely disconnects
+	// simply become their own (possibly tiny) clusters instead.
+	if err := p.componentize(g, false); err != nil {
+		return nil, err
+	}
+	p.PlanTime = time.Since(start)
+	return p, nil
+}
+
+// SparsifyIncremental is the delta-rebuild counterpart of Sparsify: it
+// reuses a retained plan assignment instead of replanning, so clusters a
+// delta did not touch keep their fingerprints and hit Options.Cache —
+// only dirty clusters re-run Algorithm 2; the stitch (cut forest +
+// global recovery round) is always redone against the new graph.
+//
+// Two guards protect the reuse from going stale:
+//
+//   - rebalance: a delta that grew any retained cluster past
+//     RebalanceFactor × (M/K) local edges abandons the stale plan for a
+//     fresh Sparsify (bounded per-cluster work is the point of sharding);
+//   - expander: the same MaxCutFraction ceiling as Sparsify, re-checked
+//     against the new graph's cut, falling back to a monolithic build.
+//
+// The result's ShardStats carries Incremental plus the ClustersReused
+// count, so callers can report how much of the rebuild was avoided.
+func SparsifyIncremental(ctx context.Context, g *graph.Graph, assign []int, opts Options) (*sparsify.Result, error) {
+	plan, err := PlanFromAssign(g, assign)
+	if err != nil {
+		return nil, err
+	}
+
+	rf := opts.RebalanceFactor
+	if rf == 0 {
+		rf = DefaultRebalanceFactor
+	}
+	if rf > 0 && plan.K > 1 {
+		fair := float64(g.M()) / float64(plan.K)
+		for ci := range plan.Clusters {
+			m := float64(plan.Clusters[ci].Local.M())
+			grown := m > rf*fair
+			// The fair-share bound alone cannot trip when K ≤ rf (no
+			// cluster can hold more than K× the average), so also compare
+			// against the cluster's own base-build size when the caller
+			// provided it; the tiny floor keeps noise on near-empty
+			// clusters from forcing replans.
+			if !grown && ci < len(opts.BaseClusterEdges) && opts.BaseClusterEdges[ci] > tinyClusterEdges {
+				grown = m > rf*float64(opts.BaseClusterEdges[ci])
+			}
+			if grown {
+				// Fresh plan, full build: deliberately NOT marked
+				// Incremental — callers and operators read that flag as
+				// "a prior plan was reused", and a rebalance replan pays
+				// cold-build cost.
+				return Sparsify(ctx, g, opts)
+			}
+		}
+	}
+
+	maxCut := opts.MaxCutFraction
+	if maxCut == 0 {
+		maxCut = DefaultMaxCutFraction
+	}
+	cutFrac := cutFractionOf(g, plan)
+	if maxCut > 0 && cutFrac > maxCut {
+		res, err := sparsify.SparsifyContext(ctx, g, opts.Sparsify)
+		if err != nil {
+			return nil, err
+		}
+		// Abandoned into a monolithic build: nothing of the prior plan was
+		// reused, so Incremental stays false (see above).
+		res.Shards = &sparsify.ShardStats{
+			Shards:         plan.K,
+			FallbackSplits: plan.FallbackSplits,
+			CutEdges:       len(plan.CutEdges),
+			CutFraction:    cutFrac,
+			Abandoned:      true,
+			PlanTime:       plan.PlanTime,
+		}
+		return res, nil
+	}
+
+	res, err := Run(ctx, g, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Shards.Incremental = true
+	return res, nil
+}

@@ -62,6 +62,24 @@ type Options struct {
 	// (the stitch would cost more than the parallelism saves). 0 selects
 	// DefaultMaxCutFraction; negative disables the guard.
 	MaxCutFraction float64
+	// RebalanceFactor is the incremental path's balance guard: a delta
+	// that grows any retained cluster past RebalanceFactor × (M/K) local
+	// edges forces a fresh plan instead of reusing the stale one (the
+	// whole point of sharding is bounded per-cluster work). 0 selects
+	// DefaultRebalanceFactor; negative disables the guard.
+	RebalanceFactor float64
+	// BaseClusterEdges, set by the incremental path, is each retained
+	// cluster's local edge count at base-build time (aligned with cluster
+	// ids). The rebalance guard compares growth against it — the M/K fair
+	// share alone is unreachable when K ≤ RebalanceFactor, since no
+	// cluster can exceed K× the average.
+	BaseClusterEdges []int
+	// Cache, when non-nil, is consulted before each cluster is sparsified
+	// and populated afterward: a cluster whose fingerprint (ClusterKey)
+	// hits adopts the cached sparsifier edges verbatim instead of
+	// re-running Algorithm 2. This is what makes delta rebuilds cheap —
+	// only dirty clusters miss.
+	Cache ClusterCache
 	// Sparsify configures the per-cluster construction and the global
 	// recovery round (zero value = the paper's parameters). Workers also
 	// bounds the cluster-level pool.
@@ -181,7 +199,7 @@ func NewPlan(ctx context.Context, g *graph.Graph, opts Options) (*Plan, error) {
 		return nil, err
 	}
 	p.FallbackSplits = int(pl.fallbacks.Load())
-	if err := p.componentize(g); err != nil {
+	if err := p.componentize(g, true); err != nil {
 		return nil, err
 	}
 	p.PlanTime = time.Since(start)
@@ -424,13 +442,17 @@ func argsort(vals []float64) []int {
 }
 
 // componentize replaces every planned cluster by its connected
-// components, merges small fragments back into their strongest
-// neighboring cluster, and rebuilds Assign, Clusters, and CutEdges.
-// Per-cluster sparsification requires connected inputs; a spectral (or
-// BFS) median cut does not guarantee that, and without the repair pass a
-// noisy ordering splinters the plan into far more clusters than planned
-// (tiny fragments inflate the cut and starve the per-cluster economics).
-func (p *Plan) componentize(g *graph.Graph) error {
+// components, optionally merges small fragments back into their
+// strongest neighboring cluster, and rebuilds Assign, Clusters, and
+// CutEdges. Per-cluster sparsification requires connected inputs; a
+// spectral (or BFS) median cut does not guarantee that, and without the
+// repair pass a noisy ordering splinters the plan into far more clusters
+// than planned (tiny fragments inflate the cut and starve the
+// per-cluster economics). PlanFromAssign passes repair=false: its input
+// was already repaired once, and re-running the merge under a different
+// Planned-derived threshold would reshuffle cluster ids — and with them
+// every per-cluster seed and fingerprint — on an unchanged assignment.
+func (p *Plan) componentize(g *graph.Graph, repair bool) error {
 	if p.Planned < 1 {
 		return fmt.Errorf("shard: empty plan")
 	}
@@ -463,7 +485,9 @@ func (p *Plan) componentize(g *graph.Graph) error {
 		final = base + maxC + 1
 	}
 
-	final = p.repairFragments(g, final)
+	if repair {
+		final = p.repairFragments(g, final)
+	}
 	p.K = final
 
 	// Rebuild cluster vertex lists under the final assignment, then the

@@ -92,6 +92,7 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 	perShard := make([]sparsify.ShardBuild, plan.K)
 	phases := make([]sparsify.Stats, plan.K)
 	errs := make([]error, plan.K)
+	keys := make([]string, plan.K)
 
 	// Each worker owns the clusters it pulls; the per-cluster option set
 	// pins Workers to 1 so parallelism lives at the cluster level only
@@ -103,7 +104,17 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 		go func() {
 			defer wg.Done()
 			for ci := range next {
-				errs[ci] = sparsifyCluster(ctx, &plan.Clusters[ci], ci, inSub, &perShard[ci], &phases[ci], o)
+				cl := &plan.Clusters[ci]
+				keys[ci] = ClusterKey(cl, clusterSeed(o.Seed, ci), o)
+				if opts.Cache != nil {
+					if pairs, ok := opts.Cache.GetCluster(keys[ci]); ok && adoptCluster(g, cl, pairs, inSub, &perShard[ci]) {
+						continue
+					}
+				}
+				errs[ci] = sparsifyCluster(ctx, cl, ci, inSub, &perShard[ci], &phases[ci], o)
+				if errs[ci] == nil && opts.Cache != nil {
+					opts.Cache.AddCluster(keys[ci], clusterPairs(g, cl, inSub))
+				}
 			}
 		}()
 	}
@@ -118,6 +129,12 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 		}
 	}
 	buildTime := time.Since(buildStart)
+	reused := 0
+	for i := range perShard {
+		if perShard[i].Reused {
+			reused++
+		}
+	}
 
 	// Stitch. The cut edges' spanning structure first: a maximum-weight
 	// spanning forest of the cut-edge graph over the *vertices* (by
@@ -194,10 +211,12 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 			CutFraction:    cutFractionOf(g, plan),
 			CutRetained:    retained,
 			CutRecovered:   recovered,
+			ClustersReused: reused,
 			PlanTime:       plan.PlanTime,
 			BuildTime:      buildTime,
 			StitchTime:     stitchTime,
 			Assign:         plan.Assign,
+			ClusterKeys:    keys,
 			PerShard:       perShard,
 		},
 	}
@@ -234,6 +253,43 @@ func cutFractionOf(g *graph.Graph, plan *Plan) float64 {
 	return float64(len(plan.CutEdges)) / float64(g.M())
 }
 
+// adoptCluster marks a cached cluster sparsifier (global endpoint pairs)
+// into the membership slice. A pair that no longer resolves to an edge
+// aborts the adoption before anything is marked (the fingerprint match
+// should make that impossible; the caller falls back to a fresh build).
+func adoptCluster(g *graph.Graph, cl *Cluster, pairs [][2]int, inSub []bool, sb *sparsify.ShardBuild) bool {
+	idx := make([]int, len(pairs))
+	for i, p := range pairs {
+		e, ok := g.EdgeBetween(p[0], p[1])
+		if !ok {
+			return false
+		}
+		idx[i] = e
+	}
+	for _, e := range idx {
+		inSub[e] = true
+	}
+	sb.Vertices = cl.Local.N
+	sb.Edges = cl.Local.M()
+	sb.SparsifierEdges = len(pairs)
+	sb.Reused = true
+	return true
+}
+
+// clusterPairs captures a just-built cluster sparsifier as global
+// endpoint pairs — the index-free representation the cluster cache
+// stores, valid against any later rebuild of the surrounding graph.
+func clusterPairs(g *graph.Graph, cl *Cluster, inSub []bool) [][2]int {
+	out := make([][2]int, 0, cl.Local.M()/4)
+	for _, ge := range cl.GlobalEdge {
+		if inSub[ge] {
+			ed := g.Edges[ge]
+			out = append(out, [2]int{ed.U, ed.V})
+		}
+	}
+	return out
+}
+
 // sparsifyCluster builds one cluster's sparsifier and marks its surviving
 // edges in the global membership slice (distinct indices per cluster, so
 // concurrent workers never write the same element).
@@ -255,7 +311,7 @@ func sparsifyCluster(ctx context.Context, cl *Cluster, ci int, inSub []bool, sb 
 	co.Workers = 1
 	// Decorrelate per-cluster randomness while keeping the whole build
 	// reproducible from the caller's seed.
-	co.Seed = o.Seed + int64(ci)*1_000_003
+	co.Seed = clusterSeed(o.Seed, ci)
 	res, err := sparsify.SparsifyContext(ctx, cl.Local, co)
 	if err != nil {
 		return fmt.Errorf("shard: cluster %d (%d vertices): %w", ci, cl.Local.N, err)

@@ -48,10 +48,22 @@ type ShardStats struct {
 
 	// Assign is the plan's per-vertex cluster assignment, threaded
 	// through so the pencil can build the additive-Schwarz
-	// preconditioner over the same clusters. Nil when the plan was
-	// abandoned; dropped by Sparsifier.Compact once the preconditioner
-	// has captured the structure.
+	// preconditioner over the same clusters — and retained for the
+	// handle's lifetime (it survives Compact) so an incremental Update
+	// can map a delta's edges onto dirty clusters without replanning.
+	// Nil when the plan was abandoned.
 	Assign []int
+	// ClusterKeys holds each cluster's fingerprint (shard.ClusterKey),
+	// aligned with cluster ids. The pencil uses them to key per-cluster
+	// Schwarz factors in the cluster cache; they survive Compact.
+	ClusterKeys []string
+
+	// Incremental reports the result came from a delta rebuild that
+	// reused a prior plan; ClustersReused counts clusters whose cached
+	// sparsifier was adopted verbatim instead of re-running Algorithm 2
+	// (cold builds can also reuse when the cluster cache is shared).
+	Incremental    bool
+	ClustersReused int
 
 	PerShard []ShardBuild
 }
@@ -62,6 +74,9 @@ type ShardBuild struct {
 	Edges           int
 	SparsifierEdges int
 	Time            time.Duration
+	// Reused reports the cluster's sparsifier came from the cluster
+	// cache (fingerprint hit) instead of a fresh Algorithm-2 run.
+	Reused bool
 }
 
 // RecoverOffSubgraph runs one general densification round (eq. 20) of

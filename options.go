@@ -144,6 +144,25 @@ func WithPrecond(p Precond) Option {
 	return func(c *Config) { c.Precond = p }
 }
 
+// WithSchwarzOverlap overrides how many structure layers each Schwarz
+// cluster is extended by before its principal submatrix is factorized
+// (0, the default, adapts to the cluster geometry ≈ √(N/K)/4; negative
+// disables overlap). Wider overlap buys PCG convergence for a bounded
+// duplication of boundary work. It has no effect on the monolithic
+// preconditioner.
+func WithSchwarzOverlap(layers int) Option {
+	return func(c *Config) { c.Overlap = layers }
+}
+
+// WithRebalanceFactor tunes the incremental rebuild's balance guard: an
+// Update whose delta grew any retained cluster past factor × its fair
+// edge share (M/K) — or past factor × its own base-build size — replans
+// from scratch instead of reusing the stale plan (0 keeps the default of
+// 4; negative disables the guard). See Sparsifier.Update.
+func WithRebalanceFactor(factor float64) Option {
+	return func(c *Config) { c.Rebalance = factor }
+}
+
 // WithSparsifierGraph skips construction and adopts p as the sparsifier.
 // p must span the same vertex set as the input graph (ErrDimension
 // otherwise) and be connected (ErrDisconnected otherwise). Use it to

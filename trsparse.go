@@ -37,6 +37,16 @@
 // forest plus one global trace-reduction recovery round. Sharded handles
 // expose per-shard telemetry via Sparsifier.ShardStats.
 //
+// When the graph drifts a few edges at a time, Sparsifier.Update applies
+// a Delta incrementally instead of rebuilding: the retained plan maps the
+// delta onto dirty clusters, untouched clusters' sparsifiers and Schwarz
+// factors are reused verbatim, and only the dirty clusters and the stitch
+// are redone.
+//
+// See TUNING.md for how every knob trades build time against solve
+// quality, with measured numbers, and a which-config-for-which-graph
+// decision table.
+//
 // For serving workloads, NewEngine wraps the library in a concurrent
 // batch engine whose LRU cache holds Sparsifier handles keyed by graph
 // fingerprint (and shard configuration), so repeated solves against one
@@ -70,6 +80,12 @@ type Graph = graph.Graph
 
 // Edge is one weighted undirected edge of a Graph.
 type Edge = graph.Edge
+
+// Delta is an edge-level modification of a graph over a fixed vertex
+// set: Set adds or reweights edges, Remove deletes them. Pass it to
+// Sparsifier.Update for an incremental rebuild that reuses every cluster
+// the delta did not touch (see TUNING.md for the operational tradeoffs).
+type Delta = graph.Delta
 
 // Method selects the sparsification algorithm.
 type Method = sparsify.Method
