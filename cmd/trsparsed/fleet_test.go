@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fabric"
+	"repro/internal/gen"
+)
+
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+}
+
+// startTestWorker serves a fabric worker the way `trsparsed -worker`
+// would, over httptest.
+func startTestWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	cache := engine.NewClusterStore(64, 0)
+	ts := httptest.NewServer(newWorkerServer(fabric.NewWorker(cache, 2), cache).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFleetStatsSurface drives a coordinator configured with a one-worker
+// fleet through a sharded build and checks the fleet telemetry surfaces:
+// clusters_remote in the build response, and the fleet health block plus
+// cluster-cache byte usage in /v2/stats.
+func TestFleetStatsSurface(t *testing.T) {
+	worker := startTestWorker(t)
+	eng := engine.New(engine.Options{
+		Workers:        4,
+		CacheSize:      8,
+		ShardThreshold: 100,
+		Fleet:          []string{worker.URL},
+	})
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+
+	g := gen.Grid2D(20, 20, 3)
+	var sp sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify?edges=false", graphRequest(g), &sp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sparsify status = %d", resp.StatusCode)
+	}
+	if sp.Sharded == nil || sp.Sharded.ClustersRemote == 0 {
+		t.Fatalf("sharded build reports no remote clusters: %+v", sp.Sharded)
+	}
+
+	resp, err := http.Get(ts.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	decodeBody(t, resp, &st)
+	if st.ClustersRemote == 0 {
+		t.Fatalf("stats clusters_remote = 0 after a fleet build")
+	}
+	if st.Fleet == nil || len(st.Fleet.Workers) != 1 {
+		t.Fatalf("stats fleet block missing or wrong size: %+v", st.Fleet)
+	}
+	w := st.Fleet.Workers[0]
+	if w.URL != worker.URL || !w.Up || w.Dispatched == 0 {
+		t.Fatalf("worker health wrong: %+v", w)
+	}
+	if st.Fleet.RemoteClusters != int64(sp.Sharded.ClustersRemote) || st.Fleet.FallbackLocal != 0 {
+		t.Fatalf("fleet counters disagree with the build: %+v vs %d", st.Fleet, sp.Sharded.ClustersRemote)
+	}
+	if st.ClusterCacheBytes == 0 {
+		t.Fatal("cluster_cache_bytes = 0 after a sharded build populated the store")
+	}
+
+	// The worker's own stats endpoint mirrors the cache fields.
+	wresp, err := http.Get(worker.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	var ws workerStatsResponse
+	decodeBody(t, wresp, &ws)
+	if ws.Role != "worker" || ws.Served == 0 {
+		t.Fatalf("worker stats wrong: %+v", ws)
+	}
+	if ws.ClusterCacheLen == 0 || ws.ClusterCacheBytes == 0 {
+		t.Fatalf("worker cluster cache unpopulated after serving builds: %+v", ws)
+	}
+}
+
+// TestFleetDownCoordinatorStillServes checks graceful degradation at the
+// serving layer: a coordinator whose whole fleet is unreachable still
+// answers sharded builds (locally), and /v2/stats records the
+// degradation.
+func TestFleetDownCoordinatorStillServes(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	eng := engine.New(engine.Options{
+		Workers:        4,
+		CacheSize:      8,
+		ShardThreshold: 100,
+		Fleet:          []string{dead.URL},
+		FleetOpts:      fabric.Options{Retries: -1, Backoff: 1},
+	})
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+
+	g := gen.Grid2D(20, 20, 3)
+	var sp sparsifyResponse
+	if resp := postJSON(t, ts.URL+"/v2/sparsify?edges=false", graphRequest(g), &sp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sparsify status = %d with fleet down", resp.StatusCode)
+	}
+	if sp.Sharded == nil || sp.Sharded.ClustersRemote != 0 {
+		t.Fatalf("dead fleet somehow served clusters: %+v", sp.Sharded)
+	}
+
+	resp, err := http.Get(ts.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	decodeBody(t, resp, &st)
+	if st.Fleet == nil || st.Fleet.FallbackLocal == 0 {
+		t.Fatalf("degradation not recorded in stats: %+v", st.Fleet)
+	}
+	if len(st.Fleet.Workers) != 1 || st.Fleet.Workers[0].Failed == 0 || st.Fleet.Workers[0].LastError == "" {
+		t.Fatalf("dead worker health not recorded: %+v", st.Fleet.Workers)
+	}
+}

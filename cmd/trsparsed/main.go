@@ -7,6 +7,14 @@
 // Usage:
 //
 //	trsparsed -addr :8372 -workers 8 -cache 128 -job-timeout 2m
+//
+// With -worker the process serves the other side of the distributed
+// shard fabric instead: a cluster-build worker (POST /v2/cluster) that
+// coordinators configured with -fleet dispatch to.
+//
+//	trsparsed -worker -addr :8373 &
+//	trsparsed -worker -addr :8374 &
+//	trsparsed -addr :8372 -fleet http://localhost:8373,http://localhost:8374
 package main
 
 import (
@@ -14,13 +22,16 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/sparsify"
 )
 
@@ -32,6 +43,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent jobs (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "max cached sparsifier artifacts")
 	clusterCache := flag.Int("cluster-cache", engine.DefaultClusterCacheSize, "max cached per-cluster artifacts for incremental /v2/update rebuilds (-1 disables)")
+	clusterCacheBytes := flag.Int64("cluster-cache-bytes", 0, "byte budget for cached per-cluster artifacts, edge lists plus Schwarz factors (0 = count-bounded only)")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job timeout including queue wait (0 disables)")
 	maxVertices := flag.Int("max-vertices", 0, "vertex bound for a single monolithic build; larger graphs go through the sharded pipeline (0 disables)")
 	hardMaxVertices := flag.Int("hard-max-vertices", 0, "absolute admission cap, sharded path included (0 = 8x max-vertices)")
@@ -41,7 +53,16 @@ func main() {
 	alpha := flag.Float64("alpha", 0, "fraction of |V| off-tree edges to recover (0 = paper default 0.10)")
 	rounds := flag.Int("rounds", 0, "densification rounds N_r (0 = paper default 5)")
 	seed := flag.Int64("seed", 1, "random seed for sparsifier construction")
+	workerMode := flag.Bool("worker", false, "serve as a shard-fabric cluster worker (POST /v2/cluster) instead of a coordinator")
+	fleet := flag.String("fleet", "", "comma-separated worker base URLs to dispatch sharded builds' clusters to (e.g. http://host:8373,http://host:8374)")
+	fleetTimeout := flag.Duration("fleet-timeout", 0, "per-attempt deadline for remote cluster dispatch (0 = 1m)")
+	fleetRetries := flag.Int("fleet-retries", 0, "additional dispatch attempts after a failed one (0 = 2, negative disables)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "duplicate a straggling cluster dispatch on the next-ranked worker after this delay; first result wins (0 disables)")
 	flag.Parse()
+
+	if *workerMode && *fleet != "" {
+		log.Fatal("-worker and -fleet are mutually exclusive: a worker executes clusters, a coordinator dispatches them")
+	}
 
 	var m sparsify.Method
 	switch *method {
@@ -55,29 +76,62 @@ func main() {
 		log.Fatalf("unknown method %q (want trace, grass, or fegrass)", *method)
 	}
 
-	eng := engine.New(engine.Options{
-		Workers:          *workers,
-		CacheSize:        *cacheSize,
-		ClusterCacheSize: *clusterCache,
-		JobTimeout:       *jobTimeout,
-		MaxVertices:      *maxVertices,
-		HardMaxVertices:  *hardMaxVertices,
-		ShardThreshold:   *shardThreshold,
-		Shards:           *shards,
-		Sparsify:         sparsify.Options{Method: m, Alpha: *alpha, Rounds: *rounds, Seed: *seed},
-	})
+	var handler http.Handler
+	var role string
+	if *workerMode {
+		// A worker keeps its own cluster cache (same budget flags as the
+		// coordinator's store): rendezvous placement sends the same cluster
+		// fingerprint back to the same worker across rebuilds, so the cache
+		// turns repeat dispatches into lookups.
+		var cache *engine.ClusterStore
+		if *clusterCache >= 0 {
+			cache = engine.NewClusterStore(*clusterCache, *clusterCacheBytes)
+		}
+		handler = newWorkerServer(fabric.NewWorker(cache, *workers), cache).handler()
+		role = "worker"
+	} else {
+		eng := engine.New(engine.Options{
+			Workers:           *workers,
+			CacheSize:         *cacheSize,
+			ClusterCacheSize:  *clusterCache,
+			ClusterCacheBytes: *clusterCacheBytes,
+			JobTimeout:        *jobTimeout,
+			MaxVertices:       *maxVertices,
+			HardMaxVertices:   *hardMaxVertices,
+			ShardThreshold:    *shardThreshold,
+			Shards:            *shards,
+			Fleet:             splitFleet(*fleet),
+			FleetOpts: fabric.Options{
+				Timeout:    *fleetTimeout,
+				Retries:    *fleetRetries,
+				HedgeAfter: *hedgeAfter,
+			},
+			Sparsify: sparsify.Options{Method: m, Alpha: *alpha, Rounds: *rounds, Seed: *seed},
+		})
+		handler = newServer(eng).handler()
+		role = "coordinator"
+		if f := eng.Fleet(); f != nil {
+			log.Printf("dispatching sharded builds to fleet: %s", strings.Join(f.Workers(), ", "))
+		}
+	}
 
+	// Listen before Serve so the actual bound address is known — with
+	// ":0" the kernel picks the port, and scripts (and the CI smoke test)
+	// parse it from this log line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(eng).handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	// Shutdown makes ListenAndServe return immediately while it is still
-	// draining in-flight requests, so main must wait on drained before
-	// exiting or the grace period is cut short.
+	// Shutdown makes Serve return immediately while it is still draining
+	// in-flight requests, so main must wait on drained before exiting or
+	// the grace period is cut short.
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -89,11 +143,23 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving on %s (workers=%d cache=%d method=%s)",
-		*addr, eng.Options().Workers, *cacheSize, m)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("serving on %s (role=%s workers=%d cache=%d method=%s)",
+		ln.Addr(), role, resolveWorkers(*workers), *cacheSize, m)
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	stop()
 	<-drained
+}
+
+// splitFleet parses the -fleet flag: comma-separated base URLs, blanks
+// dropped.
+func splitFleet(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fabric"
+)
+
+// workerServer is the HTTP surface of a `trsparsed -worker` process: the
+// fabric's cluster-build handler plus the worker's own stats and the
+// health probe coordinators and load balancers poll.
+type workerServer struct {
+	w     *fabric.Worker
+	cache *engine.ClusterStore // nil when caching is disabled
+	start time.Time
+}
+
+func newWorkerServer(w *fabric.Worker, cache *engine.ClusterStore) *workerServer {
+	return &workerServer{w: w, cache: cache, start: time.Now()}
+}
+
+func (s *workerServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/cluster", s.w.ServeCluster)
+	mux.HandleFunc("GET /v2/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "worker"})
+	})
+	return mux
+}
+
+// workerStatsResponse is the worker's /v2/stats shape: its serve counters
+// plus the local cluster cache's occupancy, mirroring the coordinator's
+// cluster-cache fields so one dashboard reads both roles.
+type workerStatsResponse struct {
+	Role string `json:"role"`
+	fabric.WorkerStatsSnapshot
+	ClusterCacheLen      int     `json:"cluster_cache_len"`
+	ClusterCacheCap      int     `json:"cluster_cache_cap"`
+	ClusterCacheBytes    int64   `json:"cluster_cache_bytes"`
+	ClusterCacheMaxBytes int64   `json:"cluster_cache_max_bytes"`
+	UptimeSeconds        float64 `json:"uptime_seconds"`
+}
+
+func (s *workerServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := workerStatsResponse{
+		Role:                "worker",
+		WorkerStatsSnapshot: s.w.Stats(),
+		UptimeSeconds:       time.Since(s.start).Seconds(),
+	}
+	if s.cache != nil {
+		resp.ClusterCacheLen = s.cache.Len()
+		resp.ClusterCacheCap = s.cache.Capacity()
+		resp.ClusterCacheBytes = s.cache.Bytes()
+		resp.ClusterCacheMaxBytes = s.cache.MaxBytes()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveWorkers mirrors the engine's worker default for log lines printed
+// before (or without) an engine.
+func resolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}

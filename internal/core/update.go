@@ -98,6 +98,7 @@ func UpdateSparsifier(ctx context.Context, base *Sparsifier, newG *graph.Graph) 
 		BaseClusterEdges: baseEdges,
 		Sparsify:         cfg.Sparsify,
 		Cache:            hc,
+		Dispatcher:       cfg.Dispatcher,
 	})
 	if err != nil {
 		return nil, wrapCanceled(err)

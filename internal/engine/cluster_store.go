@@ -24,6 +24,27 @@ type clusterEntry struct {
 	edges     [][2]int
 	factor    *chol.Factor
 	factorIdx []int
+	// bytes is the entry's accounted footprint (see entryBytes), kept
+	// current by upsert so the store can enforce a byte budget without
+	// rescanning.
+	bytes int64
+}
+
+// clusterEntryOverhead approximates the fixed per-entry cost outside the
+// payload slices: the entry struct, its list element, and the map slot.
+const clusterEntryOverhead = 160
+
+// entryBytes estimates one entry's resident footprint: the key string,
+// 16 bytes per edge pair, 8 per factor index, and the factor's own
+// accounting. An estimate is all eviction needs — the budget bounds
+// growth, it is not a malloc ledger.
+func entryBytes(e *clusterEntry) int64 {
+	b := int64(clusterEntryOverhead) + int64(len(e.key)) +
+		16*int64(len(e.edges)) + 8*int64(len(e.factorIdx))
+	if e.factor != nil {
+		b += e.factor.MemBytes()
+	}
+	return b
 }
 
 // ClusterStore is a mutex-guarded LRU of per-cluster artifacts keyed by
@@ -36,6 +57,8 @@ type clusterEntry struct {
 type ClusterStore struct {
 	mu       sync.Mutex
 	capacity int
+	maxBytes int64      // 0 = no byte budget
+	bytes    int64      // accounted footprint of resident entries
 	ll       *list.List // front = most recently used; values are *clusterEntry
 	items    map[string]*list.Element
 
@@ -45,13 +68,22 @@ type ClusterStore struct {
 }
 
 // NewClusterStore creates a store holding at most capacity cluster
-// entries (capacity ≤ 0 selects DefaultClusterCacheSize).
-func NewClusterStore(capacity int) *ClusterStore {
+// entries (capacity ≤ 0 selects DefaultClusterCacheSize) and at most
+// maxBytes of accounted artifact footprint (0 disables the byte budget).
+// Entry count bounds metadata churn; the byte budget is what actually
+// bounds memory — a Schwarz factor is thousands of times the size of an
+// edge list, so a store full of factors hits the byte ceiling long
+// before the entry ceiling.
+func NewClusterStore(capacity int, maxBytes int64) *ClusterStore {
 	if capacity <= 0 {
 		capacity = DefaultClusterCacheSize
 	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	return &ClusterStore{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element, capacity),
 	}
@@ -88,11 +120,22 @@ func (s *ClusterStore) upsert(key string, fn func(*clusterEntry)) {
 	} else {
 		s.ll.MoveToFront(el)
 	}
-	fn(el.Value.(*clusterEntry))
-	for s.ll.Len() > s.capacity {
+	e := el.Value.(*clusterEntry)
+	fn(e)
+	s.bytes += entryBytes(e) - e.bytes
+	e.bytes = entryBytes(e)
+	// Evict from the tail while either budget is exceeded. The byte loop
+	// always keeps the most recent entry resident: a single entry larger
+	// than the whole budget (a huge cluster's factor) still caches — the
+	// budget bounds accumulation, not admission — and the store can never
+	// evict the artifact it was just asked to keep.
+	for s.ll.Len() > s.capacity ||
+		(s.maxBytes > 0 && s.bytes > s.maxBytes && s.ll.Len() > 1) {
 		tail := s.ll.Back()
+		te := tail.Value.(*clusterEntry)
 		s.ll.Remove(tail)
-		delete(s.items, tail.Value.(*clusterEntry).key)
+		delete(s.items, te.key)
+		s.bytes -= te.bytes
 		s.evicted.Add(1)
 	}
 }
@@ -132,8 +175,18 @@ func (s *ClusterStore) Len() int {
 	return s.ll.Len()
 }
 
-// Capacity returns the configured maximum.
+// Capacity returns the configured maximum entry count.
 func (s *ClusterStore) Capacity() int { return s.capacity }
+
+// Bytes returns the accounted footprint of resident entries.
+func (s *ClusterStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// MaxBytes returns the configured byte budget (0 = unbounded).
+func (s *ClusterStore) MaxBytes() int64 { return s.maxBytes }
 
 // Hits and Misses report counted sparsifier-edge lookups; Evictions the
 // entries dropped by LRU pressure.

@@ -3,6 +3,8 @@ package engine
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fabric"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
@@ -65,6 +67,18 @@ type Stats struct {
 	ClusterEvictions  int64 `json:"cluster_evictions"`
 	ClusterCacheLen   int   `json:"cluster_cache_len"`
 	ClusterCacheCap   int   `json:"cluster_cache_cap"`
+	// ClusterCacheBytes is the cluster store's accounted artifact
+	// footprint; ClusterCacheMaxBytes the configured byte budget
+	// (0 = count-bounded only).
+	ClusterCacheBytes    int64 `json:"cluster_cache_bytes"`
+	ClusterCacheMaxBytes int64 `json:"cluster_cache_max_bytes"`
+	// ClustersRemote counts clusters whose construction a worker fleet
+	// answered, summed across sharded builds (0 on fleet-less engines).
+	ClustersRemote int64 `json:"clusters_remote"`
+	// Fleet is the worker-fleet telemetry — per-worker health and
+	// counters, degradation totals, remote latency — when a fleet is
+	// configured; absent otherwise.
+	Fleet *fabric.Stats `json:"fleet,omitempty"`
 	// Job behaviour.
 	Jobs      int64 `json:"jobs_total"`
 	InFlight  int64 `json:"jobs_in_flight"`
@@ -147,6 +161,7 @@ type counters struct {
 	schwarzPreconds   atomic.Int64
 	incrementalBuilds atomic.Int64
 	clustersReused    atomic.Int64
+	clustersRemote    atomic.Int64
 	jobs              atomic.Int64
 	inFlight          atomic.Int64
 	timeouts          atomic.Int64
@@ -184,6 +199,7 @@ func (c *counters) snapshot() Stats {
 		SchwarzPreconds:   c.schwarzPreconds.Load(),
 		IncrementalBuilds: c.incrementalBuilds.Load(),
 		ClustersReused:    c.clustersReused.Load(),
+		ClustersRemote:    c.clustersRemote.Load(),
 		Jobs:              c.jobs.Load(),
 		InFlight:          c.inFlight.Load(),
 		Timeouts:          c.timeouts.Load(),

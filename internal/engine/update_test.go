@@ -101,7 +101,7 @@ func TestEngineUpdateUnknownKey(t *testing.T) {
 // TestClusterStoreLRU: the cluster store evicts least-recently-used
 // entries and keeps both halves (edges, factor) of a surviving key.
 func TestClusterStoreLRU(t *testing.T) {
-	s := NewClusterStore(2)
+	s := NewClusterStore(2, 0)
 	s.AddCluster("a", [][2]int{{0, 1}})
 	s.AddCluster("b", [][2]int{{1, 2}})
 	s.AddFactor("a", nil, []int{0, 1}) // nil factor slot still refreshes recency

@@ -1,0 +1,173 @@
+package fabric
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/shard"
+	"repro/internal/sparsify"
+)
+
+// TestHedgeCancelsLoser makes whichever worker the rendezvous ranking
+// picks as primary hang, and checks the hedge wins on the other worker
+// while the straggler's request is canceled — and, critically, that the
+// canceled loser is NOT counted as a worker failure (a hedge loss says
+// nothing about the worker's health).
+func TestHedgeCancelsLoser(t *testing.T) {
+	g := gen.Grid2D(16, 16, 2)
+	plan, err := shard.NewPlan(context.Background(), g, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &shard.ClusterRequest{
+		Key:     "hedge-test-key",
+		Cluster: &plan.Clusters[0],
+		Opts:    sparsify.Options{Workers: 1, Seed: 11},
+	}
+	want, err := shard.BuildCluster(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	slowHost := "" // set after ranking, read per request
+	canceled := make(chan struct{}, 2)
+	mkServer := func() *httptest.Server {
+		w := NewWorker(nil, 2)
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v2/cluster", w.ServeCluster)
+		ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			slow := r.Host == slowHost
+			mu.Unlock()
+			if slow {
+				// Drain the body first: the net/http server only watches
+				// for client aborts once the request body is consumed, and
+				// a canceled dispatch surfaces here as exactly that abort.
+				io.Copy(io.Discard, r.Body)
+				// Straggle until the dispatcher gives up on us.
+				<-r.Context().Done()
+				canceled <- struct{}{}
+				http.Error(rw, "too slow", http.StatusServiceUnavailable)
+				return
+			}
+			mux.ServeHTTP(rw, r)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	s1, s2 := mkServer(), mkServer()
+	remote := NewRemote([]string{s1.URL, s2.URL}, Options{
+		HedgeAfter: 20 * time.Millisecond,
+		Retries:    -1,
+		Timeout:    30 * time.Second,
+	})
+
+	ranked := remote.rank(req.Key)
+	if len(ranked) != 2 {
+		t.Fatalf("rank returned %d members, want 2", len(ranked))
+	}
+	primary, secondary := ranked[0], ranked[1]
+	mu.Lock()
+	slowHost = strings.TrimPrefix(primary.url, "http://")
+	mu.Unlock()
+
+	got, err := remote.Dispatch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Remote || !reflect.DeepEqual(got.Edges, want.Edges) {
+		t.Fatal("hedged dispatch returned the wrong result")
+	}
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("straggler request was never canceled")
+	}
+	if n := secondary.hedged.Load(); n != 1 {
+		t.Fatalf("secondary hedged count = %d, want 1", n)
+	}
+	// The loser lost a race, not its health: cancellation must not count
+	// as a failure or push the worker toward its down threshold.
+	if n := primary.failed.Load(); n != 0 {
+		t.Fatalf("canceled straggler counted as %d failures, want 0", n)
+	}
+	st := remote.Stats()
+	for _, wh := range st.Workers {
+		if !wh.Up {
+			t.Fatalf("worker %s marked down after a hedge race: %+v", wh.URL, wh)
+		}
+	}
+	if st.RemoteClusters != 1 || st.FallbackLocal != 0 {
+		t.Fatalf("hedged dispatch miscounted: %+v", st)
+	}
+}
+
+// TestValidateResult covers the coordinator-side result validation that
+// keeps a buggy or skewed worker from corrupting the stitched sparsifier.
+func TestValidateResult(t *testing.T) {
+	local := graph.MustNew(3, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 0, V: 2, W: 1},
+	})
+	cl := &shard.Cluster{Vertices: []int{10, 11, 12}, Local: local}
+	req := &shard.ClusterRequest{Cluster: cl}
+	valid := validPairs(cl)
+
+	cases := []struct {
+		name  string
+		edges [][2]int
+		ok    bool
+	}{
+		{"spanning subset", [][2]int{{10, 11}, {11, 12}}, true},
+		{"all edges", [][2]int{{10, 11}, {11, 12}, {10, 12}}, true},
+		{"reversed endpoints", [][2]int{{11, 10}, {12, 11}}, true},
+		{"too few to span", [][2]int{{10, 11}}, false},
+		{"foreign edge", [][2]int{{10, 11}, {10, 13}}, false},
+		{"duplicate pair", [][2]int{{10, 11}, {11, 10}}, false},
+		{"more than the cluster has", [][2]int{{10, 11}, {11, 12}, {10, 12}, {10, 11}}, false},
+	}
+	for _, tc := range cases {
+		err := validateResult(req, &ClusterResponse{Edges: tc.edges}, valid)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected rejection: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: malformed result accepted", tc.name)
+		}
+	}
+}
+
+// TestRendezvousStability pins the placement property the worker caches
+// depend on: the same key ranks the same worker first call after call,
+// and most keys keep their primary when an unrelated worker joins.
+func TestRendezvousStability(t *testing.T) {
+	urls := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRemote(urls, Options{})
+	keys := []string{"c0-4-0011aabbccdd0011", "c1-4-2233aabbccdd0011", "c2-4-4455aabbccdd0011", "k", "another-key"}
+	for _, k := range keys {
+		first := r.rank(k)[0].url
+		for i := 0; i < 3; i++ {
+			if got := r.rank(k)[0].url; got != first {
+				t.Fatalf("key %q moved from %s to %s with no membership change", k, first, got)
+			}
+		}
+	}
+	// Adding a member must only ever steal keys for itself — no key may
+	// move between surviving members (the rendezvous property).
+	grown := NewRemote(append(urls, "http://d:1"), Options{})
+	for _, k := range keys {
+		before, after := r.rank(k)[0].url, grown.rank(k)[0].url
+		if after != before && after != "http://d:1" {
+			t.Fatalf("key %q moved from %s to %s when d joined", k, before, after)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/shard"
+	"repro/internal/sparsify"
+)
+
+// ClusterPayload is the POST /v2/cluster request body: one planned
+// cluster as a self-contained unit of work. Vertices carries the
+// local→global map (local vertex i is global Vertices[i]); Edges uses
+// local endpoints. The fingerprint key is the worker-side cache key —
+// two requests with equal keys are guaranteed to produce identical
+// results, which is what makes worker caches safe across rebuilds and
+// coordinators.
+type ClusterPayload struct {
+	// Key is the cluster fingerprint (shard.ClusterKey).
+	Key string `json:"key"`
+	// N is the local vertex count; Vertices the local→global map
+	// (len N).
+	N        int   `json:"n"`
+	Vertices []int `json:"vertices"`
+	// Edges are the cluster's local edges as [u, v, w] triples with
+	// local endpoints.
+	Edges [][3]float64 `json:"edges"`
+	// Opts is the per-cluster construction configuration (seed already
+	// derived coordinator-side; it is part of the fingerprint).
+	Opts WireOptions `json:"opts"`
+}
+
+// WireOptions is the construction parameter block as it travels to a
+// worker: every sparsify.Options field that enters the cluster
+// fingerprint, nothing else. Workers always build single-threaded per
+// request (parallelism lives at the request level).
+type WireOptions struct {
+	Method         int     `json:"method"`
+	Alpha          float64 `json:"alpha,omitempty"`
+	Rounds         int     `json:"rounds,omitempty"`
+	Beta           int     `json:"beta,omitempty"`
+	Delta          float64 `json:"delta,omitempty"`
+	SimilarityHops int     `json:"similarity_hops,omitempty"`
+	PowerSteps     int     `json:"power_steps,omitempty"`
+	PowerVectors   int     `json:"power_vectors,omitempty"`
+	ShiftRel       float64 `json:"shift_rel,omitempty"`
+	Seed           int64   `json:"seed"`
+}
+
+// wireOptions flattens the per-cluster sparsify.Options for transport.
+func wireOptions(o sparsify.Options) WireOptions {
+	return WireOptions{
+		Method:         int(o.Method),
+		Alpha:          o.Alpha,
+		Rounds:         o.Rounds,
+		Beta:           o.Beta,
+		Delta:          o.Delta,
+		SimilarityHops: o.SimilarityHops,
+		PowerSteps:     o.PowerSteps,
+		PowerVectors:   o.PowerVectors,
+		ShiftRel:       o.ShiftRel,
+		Seed:           o.Seed,
+	}
+}
+
+// sparsifyOptions is wireOptions' inverse, pinned to one worker thread.
+func (wo WireOptions) sparsifyOptions() sparsify.Options {
+	return sparsify.Options{
+		Method:         sparsify.Method(wo.Method),
+		Alpha:          wo.Alpha,
+		Rounds:         wo.Rounds,
+		Beta:           wo.Beta,
+		Delta:          wo.Delta,
+		SimilarityHops: wo.SimilarityHops,
+		PowerSteps:     wo.PowerSteps,
+		PowerVectors:   wo.PowerVectors,
+		ShiftRel:       wo.ShiftRel,
+		Seed:           wo.Seed,
+		Workers:        1,
+	}
+}
+
+// payloadOf encodes one dispatcher request as its wire payload.
+func payloadOf(req *shard.ClusterRequest) *ClusterPayload {
+	cl := req.Cluster
+	edges := make([][3]float64, cl.Local.M())
+	for i, e := range cl.Local.Edges {
+		edges[i] = [3]float64{float64(e.U), float64(e.V), e.W}
+	}
+	return &ClusterPayload{
+		Key:      req.Key,
+		N:        cl.Local.N,
+		Vertices: cl.Vertices,
+		Edges:    edges,
+		Opts:     wireOptions(req.Opts),
+	}
+}
+
+// clusterRequest reconstructs the dispatcher request worker-side. It
+// validates shape (vertex counts, endpoint ranges) but leaves graph
+// semantics — connectivity, duplicate merging — to graph.New and the
+// construction itself.
+func (p *ClusterPayload) clusterRequest() (*shard.ClusterRequest, error) {
+	if p.N < 1 {
+		return nil, fmt.Errorf("cluster needs at least one vertex, got n=%d", p.N)
+	}
+	if len(p.Vertices) != p.N {
+		return nil, fmt.Errorf("vertex map covers %d vertices, n=%d", len(p.Vertices), p.N)
+	}
+	if p.N > len(p.Edges)+1 {
+		return nil, fmt.Errorf("n=%d cannot be connected by %d edges", p.N, len(p.Edges))
+	}
+	edges := make([]graph.Edge, len(p.Edges))
+	for i, e := range p.Edges {
+		if e[0] != math.Trunc(e[0]) || e[1] != math.Trunc(e[1]) {
+			return nil, fmt.Errorf("edge %d has non-integer endpoints [%g, %g]", i, e[0], e[1])
+		}
+		edges[i] = graph.Edge{U: int(e[0]), V: int(e[1]), W: e[2]}
+	}
+	g, err := graph.New(p.N, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &shard.ClusterRequest{
+		Key:     p.Key,
+		Cluster: &shard.Cluster{Vertices: p.Vertices, Local: g},
+		Opts:    p.Opts.sparsifyOptions(),
+	}, nil
+}
+
+// ClusterResponse is the POST /v2/cluster response body: the cluster's
+// sparsifier as global endpoint pairs — the index-free representation
+// the cluster caches store — plus construction stats (durations in
+// nanoseconds). A reserved field carries the cluster's Schwarz factor in
+// a future revision; today factors stay coordinator-side because they
+// are built from the stitched global pencil (overlap rows cross cluster
+// boundaries), which the worker never sees.
+type ClusterResponse struct {
+	Edges [][2]int       `json:"edges"`
+	Stats sparsify.Stats `json:"stats"`
+	// Cached reports the worker served the result from its local
+	// cluster cache without rebuilding.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// errorResponse mirrors the serving layer's structured error shape.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}

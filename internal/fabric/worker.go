@@ -1,0 +1,131 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/shard"
+)
+
+// maxClusterBody caps worker request bodies — one cluster, not a whole
+// graph, so half the serving layer's whole-graph cap is generous.
+const maxClusterBody = 32 << 20
+
+// Worker executes cluster builds on behalf of remote coordinators: the
+// handler behind `trsparsed -worker`'s POST /v2/cluster. Builds run on a
+// bounded semaphore (a worker serves one coordinator's fan-out plus
+// hedged duplicates from others; unbounded concurrency would thrash),
+// and results are cached by cluster fingerprint when a cache is
+// configured — rendezvous placement keys on the same fingerprint, so a
+// rebuild of a mostly-unchanged graph lands its unchanged clusters on
+// the workers that already hold them.
+type Worker struct {
+	cache shard.ClusterCache // nil disables worker-side caching
+	sem   chan struct{}
+
+	served    atomic.Int64
+	cacheHits atomic.Int64
+	failures  atomic.Int64
+}
+
+// NewWorker creates a worker executing at most workers concurrent
+// cluster builds (≤ 0 selects GOMAXPROCS) against the given cache (nil
+// disables caching).
+func NewWorker(cache shard.ClusterCache, workers int) *Worker {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Worker{cache: cache, sem: make(chan struct{}, workers)}
+}
+
+// WorkerStatsSnapshot is a worker's own telemetry (the coordinator keeps
+// its view separately; see Remote.Stats).
+type WorkerStatsSnapshot struct {
+	Served    int64 `json:"clusters_served"`
+	CacheHits int64 `json:"cluster_cache_hits"`
+	Failures  int64 `json:"cluster_failures"`
+}
+
+// Stats snapshots the worker's counters.
+func (w *Worker) Stats() WorkerStatsSnapshot {
+	return WorkerStatsSnapshot{
+		Served:    w.served.Load(),
+		CacheHits: w.cacheHits.Load(),
+		Failures:  w.failures.Load(),
+	}
+}
+
+// ServeCluster is the POST /v2/cluster handler: decode one cluster
+// payload, serve it from the local cluster cache on a fingerprint hit,
+// otherwise build it (bounded by the worker semaphore, canceled when the
+// coordinator gives up — a hedge loser stops burning the worker's CPU)
+// and cache the result.
+func (w *Worker) ServeCluster(rw http.ResponseWriter, r *http.Request) {
+	var p ClusterPayload
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, maxClusterBody)).Decode(&p); err != nil {
+		w.failures.Add(1)
+		writeWorkerErr(rw, http.StatusBadRequest, "invalid_request", fmt.Errorf("decoding cluster payload: %w", err))
+		return
+	}
+	req, err := p.clusterRequest()
+	if err != nil {
+		w.failures.Add(1)
+		writeWorkerErr(rw, http.StatusBadRequest, "invalid_request", err)
+		return
+	}
+
+	if w.cache != nil && p.Key != "" {
+		if pairs, ok := w.cache.GetCluster(p.Key); ok {
+			w.served.Add(1)
+			w.cacheHits.Add(1)
+			writeWorkerJSON(rw, http.StatusOK, ClusterResponse{Edges: pairs, Cached: true})
+			return
+		}
+	}
+
+	ctx := r.Context()
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	case <-ctx.Done():
+		w.failures.Add(1)
+		writeWorkerErr(rw, http.StatusServiceUnavailable, "canceled", ctx.Err())
+		return
+	}
+
+	res, err := shard.BuildCluster(ctx, req)
+	if err != nil {
+		w.failures.Add(1)
+		status, code := http.StatusUnprocessableEntity, "invalid_graph"
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status, code = http.StatusServiceUnavailable, "canceled"
+		}
+		writeWorkerErr(rw, status, code, err)
+		return
+	}
+	if w.cache != nil && p.Key != "" {
+		w.cache.AddCluster(p.Key, res.Edges)
+	}
+	w.served.Add(1)
+	writeWorkerJSON(rw, http.StatusOK, ClusterResponse{Edges: res.Edges, Stats: res.Stats})
+}
+
+func writeWorkerJSON(rw http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		buf = []byte(`{"error":"unencodable response","code":"internal"}`)
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	rw.Write(append(buf, '\n'))
+}
+
+func writeWorkerErr(rw http.ResponseWriter, status int, code string, err error) {
+	writeWorkerJSON(rw, status, errorResponse{Error: err.Error(), Code: code})
+}

@@ -80,6 +80,11 @@ type Options struct {
 	// re-running Algorithm 2. This is what makes delta rebuilds cheap —
 	// only dirty clusters miss.
 	Cache ClusterCache
+	// Dispatcher, when non-nil, executes each non-tiny, cache-missing
+	// cluster build (internal/fabric: in-process, or fanned out to a
+	// remote worker fleet). Nil builds every cluster in-process — the
+	// behaviour predating the fabric.
+	Dispatcher Dispatcher
 	// Sparsify configures the per-cluster construction and the global
 	// recovery round (zero value = the paper's parameters). Workers also
 	// bounds the cluster-level pool.

@@ -97,6 +97,9 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 	// Each worker owns the clusters it pulls; the per-cluster option set
 	// pins Workers to 1 so parallelism lives at the cluster level only
 	// (nested scoring pools would oversubscribe and thrash scratch space).
+	// Non-tiny clusters go through the Dispatcher when one is configured
+	// — the fabric's seam: the request is self-contained and the result
+	// is index-free, so the build can run on another machine.
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -105,15 +108,56 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 			defer wg.Done()
 			for ci := range next {
 				cl := &plan.Clusters[ci]
-				keys[ci] = ClusterKey(cl, clusterSeed(o.Seed, ci), o)
+				seed := clusterSeed(o.Seed, ci)
+				keys[ci] = ClusterKey(cl, seed, o)
 				if opts.Cache != nil {
 					if pairs, ok := opts.Cache.GetCluster(keys[ci]); ok && adoptCluster(g, cl, pairs, inSub, &perShard[ci]) {
 						continue
 					}
 				}
-				errs[ci] = sparsifyCluster(ctx, cl, ci, inSub, &perShard[ci], &phases[ci], o)
-				if errs[ci] == nil && opts.Cache != nil {
-					opts.Cache.AddCluster(keys[ci], clusterPairs(g, cl, inSub))
+				perShard[ci].Vertices = cl.Local.N
+				perShard[ci].Edges = cl.Local.M()
+				if cl.Local.M() <= tinyClusterEdges {
+					// On a handful of edges the spanning tree IS most of
+					// the graph; keep the cluster whole locally — an RPC
+					// would cost more than the build.
+					start := time.Now()
+					for _, ge := range cl.GlobalEdge {
+						inSub[ge] = true
+					}
+					perShard[ci].SparsifierEdges = cl.Local.M()
+					perShard[ci].Time = time.Since(start)
+					continue
+				}
+				start := time.Now()
+				co := o
+				co.Workers = 1
+				// Decorrelate per-cluster randomness while keeping the
+				// whole build reproducible from the caller's seed.
+				co.Seed = seed
+				req := &ClusterRequest{Index: ci, Key: keys[ci], Cluster: cl, Opts: co}
+				var cres *ClusterResult
+				if opts.Dispatcher != nil {
+					cres, errs[ci] = opts.Dispatcher.Dispatch(ctx, req)
+				} else {
+					cres, errs[ci] = BuildCluster(ctx, req)
+				}
+				if errs[ci] != nil {
+					continue
+				}
+				if !adoptPairs(g, cres.Edges, inSub) {
+					// A dispatcher-validated result should make this
+					// unreachable; failing loudly beats silently stitching
+					// a hole into the sparsifier.
+					errs[ci] = fmt.Errorf("shard: cluster %d: dispatched result contains edges not in the graph", ci)
+					continue
+				}
+				phases[ci] = cres.Stats
+				perShard[ci].SparsifierEdges = len(cres.Edges)
+				perShard[ci].Remote = cres.Remote
+				perShard[ci].Time = time.Since(start)
+				if opts.Cache != nil {
+					opts.Cache.AddCluster(keys[ci], cres.Edges)
 				}
 			}
 		}()
@@ -129,10 +173,13 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 		}
 	}
 	buildTime := time.Since(buildStart)
-	reused := 0
+	reused, remote := 0, 0
 	for i := range perShard {
 		if perShard[i].Reused {
 			reused++
+		}
+		if perShard[i].Remote {
+			remote++
 		}
 	}
 
@@ -212,6 +259,7 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 			CutRetained:    retained,
 			CutRecovered:   recovered,
 			ClustersReused: reused,
+			ClustersRemote: remote,
 			PlanTime:       plan.PlanTime,
 			BuildTime:      buildTime,
 			StitchTime:     stitchTime,
@@ -258,6 +306,22 @@ func cutFractionOf(g *graph.Graph, plan *Plan) float64 {
 // aborts the adoption before anything is marked (the fingerprint match
 // should make that impossible; the caller falls back to a fresh build).
 func adoptCluster(g *graph.Graph, cl *Cluster, pairs [][2]int, inSub []bool, sb *sparsify.ShardBuild) bool {
+	if !adoptPairs(g, pairs, inSub) {
+		return false
+	}
+	sb.Vertices = cl.Local.N
+	sb.Edges = cl.Local.M()
+	sb.SparsifierEdges = len(pairs)
+	sb.Reused = true
+	return true
+}
+
+// adoptPairs resolves global endpoint pairs to edge indices and marks
+// them into the membership slice, all-or-nothing: a pair that does not
+// resolve aborts before anything is marked. Each cluster's pairs touch
+// only its own edge indices, so concurrent workers never write the same
+// element.
+func adoptPairs(g *graph.Graph, pairs [][2]int, inSub []bool) bool {
 	idx := make([]int, len(pairs))
 	for i, p := range pairs {
 		e, ok := g.EdgeBetween(p[0], p[1])
@@ -269,58 +333,5 @@ func adoptCluster(g *graph.Graph, cl *Cluster, pairs [][2]int, inSub []bool, sb 
 	for _, e := range idx {
 		inSub[e] = true
 	}
-	sb.Vertices = cl.Local.N
-	sb.Edges = cl.Local.M()
-	sb.SparsifierEdges = len(pairs)
-	sb.Reused = true
 	return true
-}
-
-// clusterPairs captures a just-built cluster sparsifier as global
-// endpoint pairs — the index-free representation the cluster cache
-// stores, valid against any later rebuild of the surrounding graph.
-func clusterPairs(g *graph.Graph, cl *Cluster, inSub []bool) [][2]int {
-	out := make([][2]int, 0, cl.Local.M()/4)
-	for _, ge := range cl.GlobalEdge {
-		if inSub[ge] {
-			ed := g.Edges[ge]
-			out = append(out, [2]int{ed.U, ed.V})
-		}
-	}
-	return out
-}
-
-// sparsifyCluster builds one cluster's sparsifier and marks its surviving
-// edges in the global membership slice (distinct indices per cluster, so
-// concurrent workers never write the same element).
-func sparsifyCluster(ctx context.Context, cl *Cluster, ci int, inSub []bool, sb *sparsify.ShardBuild, ph *sparsify.Stats, o sparsify.Options) error {
-	start := time.Now()
-	sb.Vertices = cl.Local.N
-	sb.Edges = cl.Local.M()
-
-	if cl.Local.M() <= tinyClusterEdges {
-		for _, ge := range cl.GlobalEdge {
-			inSub[ge] = true
-		}
-		sb.SparsifierEdges = cl.Local.M()
-		sb.Time = time.Since(start)
-		return nil
-	}
-
-	co := o
-	co.Workers = 1
-	// Decorrelate per-cluster randomness while keeping the whole build
-	// reproducible from the caller's seed.
-	co.Seed = clusterSeed(o.Seed, ci)
-	res, err := sparsify.SparsifyContext(ctx, cl.Local, co)
-	if err != nil {
-		return fmt.Errorf("shard: cluster %d (%d vertices): %w", ci, cl.Local.N, err)
-	}
-	*ph = res.Stats
-	for _, le := range res.EdgeIdx {
-		inSub[cl.GlobalEdge[le]] = true
-	}
-	sb.SparsifierEdges = len(res.EdgeIdx)
-	sb.Time = time.Since(start)
-	return nil
 }

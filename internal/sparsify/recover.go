@@ -64,6 +64,11 @@ type ShardStats struct {
 	// (cold builds can also reuse when the cluster cache is shared).
 	Incremental    bool
 	ClustersReused int
+	// ClustersRemote counts clusters whose sparsifier came back from a
+	// remote fabric worker; the difference to Shards (minus reused and
+	// tiny clusters) ran in-process — including remote dispatches that
+	// degraded to the local fallback.
+	ClustersRemote int
 
 	PerShard []ShardBuild
 }
@@ -77,6 +82,8 @@ type ShardBuild struct {
 	// Reused reports the cluster's sparsifier came from the cluster
 	// cache (fingerprint hit) instead of a fresh Algorithm-2 run.
 	Reused bool
+	// Remote reports the cluster was built by a remote fabric worker.
+	Remote bool
 }
 
 // RecoverOffSubgraph runs one general densification round (eq. 20) of
