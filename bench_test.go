@@ -351,6 +351,74 @@ func BenchmarkShardedSparsify(b *testing.B) {
 // sub-benchmarks then time one end-to-end PCG solve at rtol 1e-6 through
 // each prepared pencil and report the iteration counts, so the Schwarz
 // iteration penalty is visible next to the factorization win.
+// BenchmarkERSparsify is the PR-7 acceptance benchmark: trace-reduction
+// construction (the paper's Algorithm 2, monolithic default) against
+// effective-resistance sampling (MethodER) on the same large grid. The
+// ER path runs exactly what a default New(g, WithMethod(MethodER)) runs:
+// per-cluster sketch estimation and sampling through the shard pipeline
+// at the erPlanVertices threshold, so each cluster's sketch solves go
+// through a small local factorization instead of global PCG. Timed
+// region: construction only (see BenchmarkShardedSparsify); the PCG
+// iteration count of each sparsifier on a shared right-hand side is
+// reported untimed so the quality cost of sampling is visible next to
+// the build-time win.
+func BenchmarkERSparsify(b *testing.B) {
+	ctx := context.Background()
+	// Same deliberately unscaled graph as BenchmarkShardedSparsify.
+	g := Grid2D(600, 600, 1)
+	rng := rand.New(rand.NewSource(17))
+	rhs := make([]float64, g.N)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	reportQuality := func(b *testing.B, sub *Graph) {
+		b.Helper()
+		s, err := New(ctx, g, WithSparsifierGraph(sub))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := s.Solve(ctx, rhs)
+		if err != nil || !sol.Converged {
+			b.Fatalf("solve: converged=%v err=%v", sol != nil && sol.Converged, err)
+		}
+		b.ReportMetric(float64(sol.Iterations), "pcg-iters")
+		b.ReportMetric(float64(sub.M()), "edges")
+	}
+
+	b.Run("trace", func(b *testing.B) {
+		var res *Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = sparsify.Sparsify(g, sparsify.Options{Seed: 1, Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportQuality(b, res.Sparsifier)
+	})
+
+	b.Run("er", func(b *testing.B) {
+		var res *Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = shard.Sparsify(ctx, g, shard.Options{
+				Threshold: 4096, // erPlanVertices: the default ER routing
+				Sparsify:  sparsify.Options{Method: sparsify.ER, Seed: 1, Workers: 4},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if res.Shards == nil {
+			b.Fatal("ER build did not take the sharded path")
+		}
+		b.ReportMetric(float64(res.Shards.Shards), "shards")
+		reportQuality(b, res.Sparsifier)
+	})
+}
+
 func BenchmarkShardedPencil(b *testing.B) {
 	ctx := context.Background()
 	// Same deliberately unscaled graph as BenchmarkShardedSparsify: the

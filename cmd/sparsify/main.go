@@ -35,7 +35,9 @@ func main() {
 	list := flag.Bool("list", false, "list available cases and exit")
 	mmPath := flag.String("mm", "", "load graph from a Matrix Market file instead of a generated case")
 	scale := flag.Float64("scale", 1, "case size multiplier (1 = downsized default; ~70 restores paper scale)")
-	method := flag.String("method", "trace", "sparsification method: trace | grass | fegrass")
+	method := flag.String("method", "trace", "sparsification method: trace | grass | fegrass | er")
+	erSketches := flag.Int("er-sketches", 0, "JL sketch count for method er (0 = auto from -er-eps)")
+	erEps := flag.Float64("er-eps", 0, "target relative accuracy of sketched effective resistances (0 = default 0.5)")
 	alpha := flag.Float64("alpha", 0.10, "fraction of |V| off-tree edges to recover")
 	rounds := flag.Int("rounds", 5, "densification rounds N_r")
 	beta := flag.Int("beta", 5, "BFS truncation depth β")
@@ -83,8 +85,10 @@ func main() {
 		m = trsparse.GRASS
 	case "fegrass":
 		m = trsparse.FeGRASS
+	case "er":
+		m = trsparse.MethodER
 	default:
-		log.Fatalf("unknown method %q (want trace, grass, or fegrass)", *method)
+		log.Fatalf("unknown method %q (want trace, grass, fegrass, or er)", *method)
 	}
 
 	s, err := trsparse.New(ctx, g,
@@ -93,6 +97,8 @@ func main() {
 		trsparse.WithRecoveryRounds(*rounds),
 		trsparse.WithBeta(*beta),
 		trsparse.WithDelta(*delta),
+		trsparse.WithERSketches(*erSketches),
+		trsparse.WithEREpsilon(*erEps),
 		trsparse.WithSeed(*seed),
 		trsparse.WithTolerance(*pcgTol),
 		trsparse.WithMaxIterations(2000),

@@ -49,7 +49,7 @@ func main() {
 	hardMaxVertices := flag.Int("hard-max-vertices", 0, "absolute admission cap, sharded path included (0 = 8x max-vertices)")
 	shardThreshold := flag.Int("shard-threshold", 0, "shard graphs above this vertex count even below max-vertices (0 shards only when max-vertices forces it)")
 	shards := flag.Int("shards", 0, "default cluster count K for sharded builds (0 = auto from threshold)")
-	method := flag.String("method", "trace", "sparsification method: trace | grass | fegrass")
+	method := flag.String("method", "trace", "sparsification method: trace | grass | fegrass | er")
 	alpha := flag.Float64("alpha", 0, "fraction of |V| off-tree edges to recover (0 = paper default 0.10)")
 	rounds := flag.Int("rounds", 0, "densification rounds N_r (0 = paper default 5)")
 	seed := flag.Int64("seed", 1, "random seed for sparsifier construction")
@@ -64,16 +64,9 @@ func main() {
 		log.Fatal("-worker and -fleet are mutually exclusive: a worker executes clusters, a coordinator dispatches them")
 	}
 
-	var m sparsify.Method
-	switch *method {
-	case "trace":
-		m = sparsify.TraceReduction
-	case "grass":
-		m = sparsify.GRASS
-	case "fegrass":
-		m = sparsify.FeGRASS
-	default:
-		log.Fatalf("unknown method %q (want trace, grass, or fegrass)", *method)
+	m, err := sparsify.ParseMethod(*method)
+	if err != nil {
+		log.Fatalf("unknown method %q (want trace, grass, fegrass, or er)", *method)
 	}
 
 	var handler http.Handler

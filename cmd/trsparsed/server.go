@@ -18,6 +18,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/precond"
+	"repro/internal/sparsify"
 )
 
 // maxBodyBytes caps request bodies; a 64 MiB Matrix Market file covers
@@ -195,7 +196,8 @@ type sparsifyResponse struct {
 
 // buildOptsFrom parses the per-request build overrides: ?shards=K,
 // ?shard_threshold=N (non-negative integers; 0 inherits the server
-// default), and ?precond=auto|monolithic|schwarz.
+// default), ?precond=auto|monolithic|schwarz, and
+// ?method=trace|grass|fegrass|er (absent inherits the server default).
 func buildOptsFrom(r *http.Request) (engine.BuildOpts, error) {
 	var bo engine.BuildOpts
 	for _, p := range []struct {
@@ -221,6 +223,13 @@ func buildOptsFrom(r *http.Request) (engine.BuildOpts, error) {
 			return bo, fmt.Errorf("invalid precond %q (want auto, monolithic, or schwarz)", raw)
 		}
 		bo.Precond = kind
+	}
+	if raw := r.URL.Query().Get("method"); raw != "" {
+		m, err := sparsify.ParseMethod(raw)
+		if err != nil {
+			return bo, fmt.Errorf("invalid method %q (want trace, grass, fegrass, or er)", raw)
+		}
+		bo.Method = &m
 	}
 	return bo, nil
 }

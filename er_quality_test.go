@@ -1,0 +1,76 @@
+package trsparse
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// erCommunities mirrors the shard tests' fixture: three dense grid
+// communities joined by weak bridges — structure where a bad sampling
+// distribution would visibly hurt the preconditioner.
+func erCommunities(side int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	n := 0
+	offsets := make([]int, 3)
+	for c := 0; c < 3; c++ {
+		offsets[c] = n
+		comm := gen.Grid2D(side, side, seed+int64(c))
+		for _, e := range comm.Edges {
+			edges = append(edges, graph.Edge{U: e.U + n, V: e.V + n, W: e.W})
+		}
+		n += comm.N
+	}
+	sz := side * side
+	for c := 0; c < 3; c++ {
+		a, b := offsets[c], offsets[(c+1)%3]
+		for i := 0; i < 3; i++ {
+			edges = append(edges, graph.Edge{
+				U: a + rng.Intn(sz), V: b + rng.Intn(sz), W: 0.05 + 0.1*rng.Float64(),
+			})
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// TestMethodERQualityGate holds the sampled sparsifier to the issue's
+// acceptance bar: on the three-community fixture, PCG through the
+// MethodER preconditioner converges within 2× the iterations of the
+// trace-reduction one.
+func TestMethodERQualityGate(t *testing.T) {
+	ctx := context.Background()
+	g := erCommunities(10, 3)
+
+	rng := rand.New(rand.NewSource(17))
+	b := make([]float64, g.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	solveIters := func(opts ...Option) int {
+		t.Helper()
+		s, err := New(ctx, g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := s.Solve(ctx, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Converged {
+			t.Fatalf("solve did not converge: %d iterations, relres %g", sol.Iterations, sol.RelRes)
+		}
+		return sol.Iterations
+	}
+
+	trace := solveIters(WithSeed(1))
+	er := solveIters(WithSeed(1), WithMethod(MethodER))
+	t.Logf("PCG iterations: trace %d, er %d", trace, er)
+	if er > 2*trace {
+		t.Errorf("MethodER needs %d PCG iterations, more than 2x trace reduction's %d", er, trace)
+	}
+}

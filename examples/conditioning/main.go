@@ -1,7 +1,7 @@
 // Conditioning sweep: how sparsifier density and method choice trade off.
 //
 // For a fixed mesh, sweeps the fraction of recovered off-tree edges α over
-// {2%, 5%, 10%, 15%, 20%} of |V| for all three sparsification methods and
+// {2%, 5%, 10%, 15%, 20%} of |V| for all four sparsification methods and
 // prints κ(L_G, L_P) and PCG iteration counts — the data behind the
 // paper's Figure 2 intuition that more recovered edges help, with
 // diminishing returns, and that trace reduction makes better use of every
@@ -34,6 +34,7 @@ func main() {
 		{"trace", trsparse.TraceReduction},
 		{"grass", trsparse.GRASS},
 		{"fegrass", trsparse.FeGRASS},
+		{"er", trsparse.MethodER},
 	}
 	for _, m := range methods {
 		fmt.Printf(" | %-7s %-14s", m.name, "κ / PCG-iters")

@@ -219,6 +219,12 @@ type BuildOpts struct {
 	// Precond overrides the engine's preconditioner strategy for this
 	// build (precond.Auto inherits; the HTTP layer maps ?precond= here).
 	Precond precond.Kind
+	// Method overrides the sparsification algorithm for this build (nil
+	// inherits the engine's Sparsify.Method; the HTTP layer maps ?method=
+	// here). Like the other overrides it joins the artifact identity: the
+	// same graph built with trace reduction and with effective-resistance
+	// sampling is two different sparsifiers.
+	Method *sparsify.Method
 }
 
 // resolveBuild computes the effective core configuration, the store key,
@@ -260,6 +266,10 @@ func (e *Engine) resolveBuild(g *graph.Graph, fp Fingerprint, bo BuildOpts) (cor
 	if kind == precond.Auto {
 		kind = e.opts.Precond
 	}
+	method := e.opts.Sparsify.Method
+	if bo.Method != nil {
+		method = *bo.Method
+	}
 	cfg := core.Config{
 		Sparsify:       e.opts.Sparsify,
 		MaxVertices:    hard,
@@ -267,6 +277,7 @@ func (e *Engine) resolveBuild(g *graph.Graph, fp Fingerprint, bo BuildOpts) (cor
 		Shards:         shards,
 		Precond:        kind,
 	}
+	cfg.Sparsify.Method = method
 	if e.clusters != nil {
 		// Wire the shared cluster store into every build, so cold sharded
 		// builds populate it and incremental rebuilds draw on it.
@@ -299,6 +310,12 @@ func (e *Engine) resolveBuild(g *graph.Graph, fp Fingerprint, bo BuildOpts) (cor
 		// is two different factorizations. Auto stays keyless so default
 		// traffic keeps hitting the same entries as before.
 		key = fmt.Sprintf("%s-p%s", key, kind)
+	}
+	if method != e.opts.Sparsify.Method {
+		// A non-default method is part of the artifact identity; requests
+		// matching the engine default stay keyless so they keep hitting the
+		// same entries as before the override existed.
+		key = fmt.Sprintf("%s-m%s", key, method)
 	}
 	return cfg, key, nil
 }
@@ -479,6 +496,7 @@ func (e *Engine) Update(ctx context.Context, baseKey string, d graph.Delta) (*Ar
 		ShardThreshold: bcfg.ShardThreshold,
 		Shards:         bcfg.Shards,
 		Precond:        bcfg.Precond,
+		Method:         &bcfg.Sparsify.Method,
 	})
 	if err != nil {
 		return nil, false, err

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sparsify"
+)
+
+// TestMethodOverrideInKey: a per-request method override builds a
+// distinct artifact under a `-m<name>` key suffix; requests matching the
+// engine default keep the historical keys and cache entries.
+func TestMethodOverrideInKey(t *testing.T) {
+	ctx := context.Background()
+	g := gen.Grid2D(20, 20, 3)
+	e := New(testOptions())
+
+	def, _, err := e.Sparsify(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(def.Key, "-m") {
+		t.Fatalf("default build key %q carries a method suffix", def.Key)
+	}
+
+	er := sparsify.ER
+	erArt, hit, err := e.SparsifyWith(ctx, g, BuildOpts{Method: &er})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("method override must not hit the default cache entry")
+	}
+	if erArt.Key == def.Key || !strings.HasSuffix(erArt.Key, "-mer") {
+		t.Fatalf("ER artifact key = %q, want default key plus -mer suffix", erArt.Key)
+	}
+	if got := erArt.Handle.Config().Sparsify.Method; got != sparsify.ER {
+		t.Fatalf("ER artifact built with method %v", got)
+	}
+
+	// Identical override: cache hit on the method-suffixed key.
+	again, hit, err := e.SparsifyWith(ctx, g, BuildOpts{Method: &er})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || again != erArt {
+		t.Fatal("repeated ER request did not hit its cache entry")
+	}
+
+	// An explicit override equal to the engine default resolves to the
+	// plain key — and therefore to the already-built artifact.
+	tr := sparsify.TraceReduction
+	trArt, hit, err := e.SparsifyWith(ctx, g, BuildOpts{Method: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || trArt != def {
+		t.Fatalf("explicit default-method request missed the default entry (key %q)", trArt.Key)
+	}
+}
+
+// TestMethodOverrideSurvivesUpdate: an incremental rebuild of a
+// method-overridden artifact inherits the method and lands under the
+// updated graph's method-suffixed key.
+func TestMethodOverrideSurvivesUpdate(t *testing.T) {
+	ctx := context.Background()
+	g := gen.Grid2D(20, 20, 4)
+	e := New(testOptions())
+
+	er := sparsify.ER
+	base, _, err := e.SparsifyWith(ctx, g, BuildOpts{Method: &er})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, cached, err := e.Update(ctx, base.Key, graph.Delta{Set: []graph.Edge{{U: 0, V: 1, W: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first update reported cached")
+	}
+	if !strings.HasSuffix(art.Key, "-mer") {
+		t.Fatalf("updated artifact key = %q, want -mer suffix", art.Key)
+	}
+	if got := art.Handle.Config().Sparsify.Method; got != sparsify.ER {
+		t.Fatalf("updated artifact built with method %v", got)
+	}
+}

@@ -35,7 +35,15 @@ type ClusterRequest struct {
 // graph — plus the construction phase stats.
 type ClusterResult struct {
 	Edges [][2]int
-	Stats sparsify.Stats
+	// Weights, when non-nil, carries a per-edge weight override aligned
+	// with Edges (0 keeps the original weight). The ER method's
+	// importance reweighting travels here; methods that keep original
+	// weights leave it nil, which is why the cluster cache and the
+	// fabric protocol — both built on the index-free endpoint-pair
+	// representation — stay weight-free (Run keeps ER clusters off
+	// both paths).
+	Weights []float64
+	Stats   sparsify.Stats
 	// Remote reports the result came from a remote fabric worker rather
 	// than an in-process build (including a remote dispatcher's local
 	// fallback, which reports false).
@@ -69,5 +77,13 @@ func BuildCluster(ctx context.Context, req *ClusterRequest) (*ClusterResult, err
 		e := cl.Local.Edges[le]
 		pairs[i] = [2]int{cl.Vertices[e.U], cl.Vertices[e.V]}
 	}
-	return &ClusterResult{Edges: pairs, Stats: res.Stats}, nil
+	cres := &ClusterResult{Edges: pairs, Stats: res.Stats}
+	if res.Reweight != nil {
+		ws := make([]float64, len(res.EdgeIdx))
+		for i, le := range res.EdgeIdx {
+			ws[i] = res.Reweight[le]
+		}
+		cres.Weights = ws
+	}
+	return cres, nil
 }

@@ -107,7 +107,11 @@ func SparsifyIncremental(ctx context.Context, g *graph.Graph, assign []int, opts
 	}
 	cutFrac := cutFractionOf(g, plan)
 	if maxCut > 0 && cutFrac > maxCut {
-		res, err := sparsify.SparsifyContext(ctx, g, opts.Sparsify)
+		so := opts.Sparsify
+		if so.Method == sparsify.ER || so.ERRanking {
+			so = so.WithERAssign(plan.Assign)
+		}
+		res, err := sparsify.SparsifyContext(ctx, g, so)
 		if err != nil {
 			return nil, err
 		}

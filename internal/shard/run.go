@@ -47,7 +47,14 @@ func Sparsify(ctx context.Context, g *graph.Graph, opts Options) (*sparsify.Resu
 	}
 	cutFrac := cutFractionOf(g, plan)
 	if maxCut > 0 && cutFrac > maxCut {
-		res, err := sparsify.SparsifyContext(ctx, g, opts.Sparsify)
+		so := opts.Sparsify
+		if so.Method == sparsify.ER || so.ERRanking {
+			// The plan is already paid for; even an abandoned
+			// (high-cut) partition makes a better sketch-solve
+			// preconditioner than factorizing L_G whole.
+			so = so.WithERAssign(plan.Assign)
+		}
+		res, err := sparsify.SparsifyContext(ctx, g, so)
 		if err != nil {
 			return nil, err
 		}
@@ -94,6 +101,18 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 	errs := make([]error, plan.K)
 	keys := make([]string, plan.K)
 
+	// ER clusters return importance-reweighted edges, which the
+	// index-free endpoint-pair representation of the cluster cache and
+	// the fabric protocol cannot carry — so ER builds every cluster
+	// locally and fresh, and collects the weight overrides here.
+	// Clusters write only their own edge indices, so the concurrent
+	// stores never collide.
+	erMode := o.Method == sparsify.ER
+	var reweight []float64
+	if erMode {
+		reweight = make([]float64, g.M())
+	}
+
 	// Each worker owns the clusters it pulls; the per-cluster option set
 	// pins Workers to 1 so parallelism lives at the cluster level only
 	// (nested scoring pools would oversubscribe and thrash scratch space).
@@ -110,7 +129,7 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 				cl := &plan.Clusters[ci]
 				seed := clusterSeed(o.Seed, ci)
 				keys[ci] = ClusterKey(cl, seed, o)
-				if opts.Cache != nil {
+				if opts.Cache != nil && !erMode {
 					if pairs, ok := opts.Cache.GetCluster(keys[ci]); ok && adoptCluster(g, cl, pairs, inSub, &perShard[ci]) {
 						continue
 					}
@@ -137,7 +156,7 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 				co.Seed = seed
 				req := &ClusterRequest{Index: ci, Key: keys[ci], Cluster: cl, Opts: co}
 				var cres *ClusterResult
-				if opts.Dispatcher != nil {
+				if opts.Dispatcher != nil && !erMode {
 					cres, errs[ci] = opts.Dispatcher.Dispatch(ctx, req)
 				} else {
 					cres, errs[ci] = BuildCluster(ctx, req)
@@ -145,7 +164,7 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 				if errs[ci] != nil {
 					continue
 				}
-				if !adoptPairs(g, cres.Edges, inSub) {
+				if !adoptWeighted(g, cres, inSub, reweight) {
 					// A dispatcher-validated result should make this
 					// unreachable; failing loudly beats silently stitching
 					// a hole into the sparsifier.
@@ -156,7 +175,7 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 				perShard[ci].SparsifierEdges = len(cres.Edges)
 				perShard[ci].Remote = cres.Remote
 				perShard[ci].Time = time.Since(start)
-				if opts.Cache != nil {
+				if opts.Cache != nil && !erMode {
 					opts.Cache.AddCluster(keys[ci], cres.Edges)
 				}
 			}
@@ -268,12 +287,13 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 			PerShard:       perShard,
 		},
 	}
+	res.Reweight = reweight
 	for e, in := range inSub {
 		if in {
 			res.EdgeIdx = append(res.EdgeIdx, e)
 		}
 	}
-	res.Sparsifier = g.Subgraph(res.EdgeIdx)
+	res.Sparsifier = sparsify.WeightedSubgraph(g, res.EdgeIdx, res.Reweight)
 	res.Stats.Total = plan.PlanTime + buildTime + stitchTime
 	res.Stats.EdgesAdded = len(res.EdgeIdx) - (g.N - 1)
 	// Phase times aggregate CPU across clusters (they exceed the wall
@@ -313,6 +333,26 @@ func adoptCluster(g *graph.Graph, cl *Cluster, pairs [][2]int, inSub []bool, sb 
 	sb.Edges = cl.Local.M()
 	sb.SparsifierEdges = len(pairs)
 	sb.Reused = true
+	return true
+}
+
+// adoptWeighted is adoptPairs plus the weight overrides a fresh ER
+// cluster build carries: after the all-or-nothing membership marking,
+// positive per-edge weights are recorded into the global reweight
+// slice (when the caller is collecting one).
+func adoptWeighted(g *graph.Graph, cres *ClusterResult, inSub []bool, reweight []float64) bool {
+	if !adoptPairs(g, cres.Edges, inSub) {
+		return false
+	}
+	if cres.Weights == nil || reweight == nil {
+		return true
+	}
+	for i, p := range cres.Edges {
+		if w := cres.Weights[i]; w > 0 {
+			e, _ := g.EdgeBetween(p[0], p[1])
+			reweight[e] = w
+		}
+	}
 	return true
 }
 

@@ -1,4 +1,4 @@
-package solver
+package solver_test
 
 import (
 	"math/rand"
@@ -7,6 +7,7 @@ import (
 	"repro/internal/chol"
 	"repro/internal/gen"
 	"repro/internal/lap"
+	"repro/internal/solver"
 	"repro/internal/sparsify"
 )
 
@@ -39,9 +40,9 @@ func TestSparsifierBeatsIC0(t *testing.T) {
 		b[i] = rng.NormFloat64()
 	}
 	x1 := make([]float64, g.N)
-	icRes := PCG(a, b, x1, NewCholPrecond(ic), Options{Tol: 1e-8, MaxIter: 5000})
+	icRes := solver.PCG(a, b, x1, solver.NewCholPrecond(ic), solver.Options{Tol: 1e-8, MaxIter: 5000})
 	x2 := make([]float64, g.N)
-	spRes := PCG(a, b, x2, NewCholPrecond(pf), Options{Tol: 1e-8, MaxIter: 5000})
+	spRes := solver.PCG(a, b, x2, solver.NewCholPrecond(pf), solver.Options{Tol: 1e-8, MaxIter: 5000})
 
 	if !icRes.Converged || !spRes.Converged {
 		t.Fatalf("convergence failure: ic=%+v sp=%+v", icRes, spRes)
@@ -67,17 +68,17 @@ func TestIC0BeatsJacobi(t *testing.T) {
 	for i := range b {
 		b[i] = rng.NormFloat64()
 	}
-	run := func(m Preconditioner) int {
+	run := func(m solver.Preconditioner) int {
 		x := make([]float64, g.N)
-		r := PCG(a, b, x, m, Options{Tol: 1e-8, MaxIter: 8000})
+		r := solver.PCG(a, b, x, m, solver.Options{Tol: 1e-8, MaxIter: 8000})
 		if !r.Converged {
 			t.Fatalf("did not converge with %T", m)
 		}
 		return r.Iterations
 	}
-	icIt := run(NewCholPrecond(ic))
-	jacIt := run(NewJacobi(a))
-	idIt := run(Identity{})
+	icIt := run(solver.NewCholPrecond(ic))
+	jacIt := run(solver.NewJacobi(a))
+	idIt := run(solver.Identity{})
 	t.Logf("identity %d, Jacobi %d, IC(0) %d", idIt, jacIt, icIt)
 	if !(icIt < jacIt && jacIt <= idIt) {
 		t.Errorf("preconditioner hierarchy violated: id=%d jac=%d ic=%d", idIt, jacIt, icIt)

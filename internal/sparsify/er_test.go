@@ -1,0 +1,206 @@
+package sparsify
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func unitPath(n int) *graph.Graph {
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 1, W: 1}
+	}
+	return graph.MustNew(n, edges)
+}
+
+func TestERSparsifyInvariants(t *testing.T) {
+	g := gen.Grid2D(20, 20, 9)
+	res, err := Sparsify(g, Options{Method: ER, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparsifier.Connected() {
+		t.Error("ER sparsifier disconnected")
+	}
+	if res.Sparsifier.N != g.N {
+		t.Errorf("sparsifier spans %d vertices, want %d", res.Sparsifier.N, g.N)
+	}
+	// Sampling with replacement: at most budget distinct edges beyond the
+	// tree, and more than the bare tree unless the pool was degenerate.
+	budget := int(0.20 * float64(g.N))
+	got := len(res.EdgeIdx)
+	if got <= g.N-1 || got > g.N-1+budget {
+		t.Errorf("sparsifier has %d edges, want in (n-1, n-1+%d]", got, budget)
+	}
+	if res.Stats.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1 (single sampling pass)", res.Stats.Rounds)
+	}
+	if res.Stats.ERSketches == 0 || res.Stats.ERTime == 0 {
+		t.Errorf("ER telemetry missing: sketches=%d time=%v", res.Stats.ERSketches, res.Stats.ERTime)
+	}
+	if res.Reweight == nil {
+		t.Fatal("ER result carries no reweight vector")
+	}
+
+	// The spanning tree is kept verbatim; sampled edges carry the
+	// importance weight w·c/(q·p), clamped to erMaxMultiplier·w.
+	for e, in := range res.Tree.InTree {
+		if !in {
+			continue
+		}
+		if !res.InSub[e] {
+			t.Fatalf("tree edge %d missing from the sparsifier", e)
+		}
+		if res.Reweight[e] != 0 {
+			t.Errorf("tree edge %d reweighted to %g, want original weight", e, res.Reweight[e])
+		}
+	}
+	for e, w := range res.Reweight {
+		if w == 0 {
+			continue
+		}
+		if !res.InSub[e] {
+			t.Errorf("edge %d has reweight %g but is not in the sparsifier", e, w)
+		}
+		orig := g.Edges[e].W
+		if w <= 0 || math.IsNaN(w) || w > orig*erMaxMultiplier*(1+1e-12) {
+			t.Errorf("edge %d reweight %g outside (0, %g·w]", e, w, erMaxMultiplier)
+		}
+	}
+
+	// The materialized sparsifier graph must reflect the overrides: total
+	// weight equals Σ tree + Σ reweighted.
+	want := 0.0
+	for _, e := range res.EdgeIdx {
+		if w := res.Reweight[e]; w > 0 {
+			want += w
+		} else {
+			want += g.Edges[e].W
+		}
+	}
+	have := 0.0
+	for _, ed := range res.Sparsifier.Edges {
+		have += ed.W
+	}
+	if math.Abs(want-have) > 1e-9*want {
+		t.Errorf("sparsifier total weight %g, want %g", have, want)
+	}
+}
+
+func TestERDeterministicForFixedSeed(t *testing.T) {
+	g := gen.Tri2D(14, 14, 4)
+	a, err := Sparsify(g, Options{Method: ER, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sparsify(g, Options{Method: ER, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.EdgeIdx) != len(b.EdgeIdx) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a.EdgeIdx), len(b.EdgeIdx))
+	}
+	for i := range a.EdgeIdx {
+		if a.EdgeIdx[i] != b.EdgeIdx[i] {
+			t.Fatalf("edge %d differs: %d vs %d", i, a.EdgeIdx[i], b.EdgeIdx[i])
+		}
+	}
+	for e := range a.Reweight {
+		if a.Reweight[e] != b.Reweight[e] {
+			t.Fatalf("reweight %d differs: %g vs %g", e, a.Reweight[e], b.Reweight[e])
+		}
+	}
+}
+
+// TestERWithAssign: a caller-supplied cluster assignment routes the
+// sketch solves through the Schwarz preconditioner without changing the
+// contract.
+func TestERWithAssign(t *testing.T) {
+	g := gen.Grid2D(16, 16, 7)
+	assign := make([]int, g.N)
+	for v := range assign {
+		if v >= g.N/2 {
+			assign[v] = 1
+		}
+	}
+	res, err := SparsifyContext(context.Background(), g,
+		Options{Method: ER, Seed: 3}.WithERAssign(assign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparsifier.Connected() {
+		t.Error("ER sparsifier with Schwarz assignment disconnected")
+	}
+	if res.Stats.ERIterations == 0 {
+		t.Error("Schwarz-backed sketch solves reported zero PCG iterations")
+	}
+}
+
+// TestERRankingPrefiltersTraceReduction: WithERRanking pays one sketch
+// estimation and still produces a full-quality trace-reduction result.
+func TestERRankingPrefiltersTraceReduction(t *testing.T) {
+	g := gen.Grid2D(20, 20, 5)
+	res, err := Sparsify(g, Options{Method: TraceReduction, ERRanking: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sparsifier.Connected() {
+		t.Error("ERRanking sparsifier disconnected")
+	}
+	if res.Stats.ERSketches == 0 {
+		t.Error("ERRanking did not run the sketch estimator")
+	}
+	wantEdges := g.N - 1 + int(0.10*float64(g.N))
+	if got := len(res.EdgeIdx); got != wantEdges {
+		t.Errorf("sparsifier has %d edges, want %d", got, wantEdges)
+	}
+	if res.Reweight != nil {
+		t.Error("trace reduction must not reweight edges")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]Method{
+		"trace":                TraceReduction,
+		"trace-reduction":      TraceReduction,
+		"grass":                GRASS,
+		"fegrass":              FeGRASS,
+		"er":                   ER,
+		"effective-resistance": ER,
+	}
+	for s, want := range cases {
+		got, err := ParseMethod(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMethod(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseMethod("banana"); err == nil {
+		t.Error("ParseMethod accepted an unknown method")
+	}
+}
+
+func TestERPrefilterKeepsTopLeverage(t *testing.T) {
+	g := unitPath(40)
+	r := make([]float64, g.M())
+	for e := range r {
+		r[e] = float64(e) // leverage strictly increasing in index
+	}
+	cand := []int{3, 10, 4, 25, 7}
+	got := erPrefilter(g, cand, r, 2)
+	// Unit weights, so the two highest-leverage candidates are edges 25
+	// and 10; output preserves candidate (slice) order.
+	if len(got) != 2 {
+		t.Fatalf("kept %d candidates, want 2", len(got))
+	}
+	if got[0] != 10 || got[1] != 25 {
+		t.Errorf("kept %v, want [10 25]", got)
+	}
+	// keep >= len(cand) is the identity.
+	if out := erPrefilter(g, cand, r, 10); len(out) != len(cand) {
+		t.Errorf("oversized keep truncated the pool to %d", len(out))
+	}
+}

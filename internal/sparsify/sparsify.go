@@ -25,6 +25,7 @@ import (
 	"repro/internal/chol"
 	"repro/internal/graph"
 	"repro/internal/lap"
+	"repro/internal/resist"
 	"repro/internal/spai"
 	"repro/internal/tree"
 )
@@ -40,6 +41,13 @@ const (
 	// FeGRASS is the tree effective-resistance baseline of [13]
 	// (single-round, no densification).
 	FeGRASS
+	// ER is Spielman–Srivastava effective-resistance sampling
+	// (arXiv:0803.0929): estimate R_eff per edge with JL sketches
+	// solved through the PCG stack (internal/resist), then
+	// importance-sample off-tree edges proportional to w·R_eff with
+	// weight reweighting, always keeping the spanning tree. A
+	// single-round quality-vs-speed dial against trace reduction.
+	ER
 )
 
 func (m Method) String() string {
@@ -50,8 +58,26 @@ func (m Method) String() string {
 		return "grass"
 	case FeGRASS:
 		return "fegrass"
+	case ER:
+		return "er"
 	}
 	return "unknown"
+}
+
+// ParseMethod resolves a user-facing method name — as accepted by the
+// CLI flags and the /v2 `method=` query parameter — to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "trace", "trace-reduction":
+		return TraceReduction, nil
+	case "grass":
+		return GRASS, nil
+	case "fegrass":
+		return FeGRASS, nil
+	case "er", "effective-resistance":
+		return ER, nil
+	}
+	return 0, fmt.Errorf("sparsify: unknown method %q (want trace, grass, fegrass, or er)", s)
 }
 
 // Options configures Sparsify. Zero values select the paper's defaults.
@@ -83,10 +109,46 @@ type Options struct {
 	// Seed drives every random choice, making runs reproducible.
 	Seed int64
 
+	// ERSketches is the JL sketch count for the ER method and for
+	// ERRanking (0 derives it from EREpsilon and the graph size; see
+	// internal/resist). More sketches sharpen the resistance estimates
+	// at one extra linear solve each.
+	ERSketches int
+	// EREpsilon is the target relative accuracy of the sketched
+	// resistances (default resist.DefaultEpsilon = 0.5). Only
+	// consulted when ERSketches is unset.
+	EREpsilon float64
+	// ERRanking, with the TraceReduction method, prefilters each
+	// densification round's candidate pool to the edges with the
+	// highest sketched leverage scores w·R_eff before the expensive
+	// eq. (20) scoring — the ER subsystem reused as a ranking stage, a
+	// speed dial that trades a few sketch solves for a much smaller
+	// scoring pool.
+	ERRanking bool
+
 	// grassExclusion lets ablation studies hand the GRASS baseline the
 	// feGRASS similarity exclusion the published algorithm lacks
 	// (see WithGRASSExclusion).
 	grassExclusion bool
+
+	// erAssign is a per-vertex cluster assignment handed down by the
+	// handle layer so the ER sketch solves run under the two-level
+	// Schwarz preconditioner instead of a monolithic factorization of
+	// L_G (see WithERAssign). It never enters cluster fingerprints:
+	// the assignment changes how the sketch systems are solved, not
+	// what they estimate.
+	erAssign []int
+}
+
+// WithERAssign returns a copy of o whose ER sketch solves use the
+// two-level Schwarz preconditioner over the given per-vertex cluster
+// assignment — in practice a shard plan computed by the caller. The
+// core layer sets it for large monolithic ER (and ERRanking) builds;
+// per-cluster builds leave it nil and factorize the small local
+// Laplacian directly.
+func (o Options) WithERAssign(assign []int) Options {
+	o.erAssign = assign
+	return o
 }
 
 // WithGRASSExclusion returns a copy of o in which the GRASS baseline also
@@ -99,6 +161,16 @@ func (o Options) WithGRASSExclusion() Options {
 func (o Options) withDefaults() Options {
 	if o.Alpha <= 0 {
 		o.Alpha = 0.10
+		if o.Method == ER {
+			// Sampled edges carry capped importance weights and land
+			// wherever the leverage mass puts them, so each one buys
+			// less preconditioning than a trace-chosen edge; sampling
+			// is also orders of magnitude cheaper than eq. (20)
+			// scoring. MethodER therefore defaults to twice the edge
+			// budget — the dial trades a denser sparsifier for a much
+			// faster build (see TUNING.md for measured points).
+			o.Alpha = 0.20
+		}
 	}
 	if o.Rounds <= 0 {
 		o.Rounds = 5
@@ -124,6 +196,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.EREpsilon <= 0 {
+		o.EREpsilon = resist.DefaultEpsilon
+	}
 	return o
 }
 
@@ -136,6 +211,14 @@ type Stats struct {
 	Rounds     int
 	EdgesAdded int
 	SPAINnz    []int // Z̃ nonzeros per general round (diagnostic)
+
+	// ERTime is the time spent in sketch-based effective-resistance
+	// estimation (the ER method, or ERRanking under trace reduction);
+	// ERSketches and ERIterations record how many sketch columns were
+	// solved and the PCG iterations they cost.
+	ERTime       time.Duration
+	ERSketches   int
+	ERIterations int
 }
 
 // Result is a computed sparsifier.
@@ -151,7 +234,14 @@ type Result struct {
 	// Shift is the shared diagonal regularization used during
 	// construction; reuse it when building the (L_G, L_P) pencil.
 	Shift []float64
-	Stats Stats
+	// Reweight, when non-nil, is a per-G-edge weight override (aligned
+	// with g.Edges; 0 keeps the original weight). The ER method sets it
+	// for importance-sampled edges — a sampled edge carries weight
+	// w·c/(q·p) so the sparsifier's Laplacian stays an unbiased
+	// estimate of L_G — and Sparsifier is assembled with these weights.
+	// Tree and recovered cut edges keep their original weights.
+	Reweight []float64
+	Stats    Stats
 	// Shards is per-shard telemetry when the result came out of the
 	// partition-parallel sharded pipeline (internal/shard); nil for a
 	// monolithic build.
@@ -204,6 +294,8 @@ func SparsifyContext(ctx context.Context, g *graph.Graph, opts Options) (*Result
 		err = runGRASS(ctx, g, st, res, budget, o)
 	case FeGRASS:
 		err = runFeGRASS(ctx, g, st, res, budget, o)
+	case ER:
+		err = runER(ctx, g, res, budget, o)
 	default:
 		err = fmt.Errorf("sparsify: unknown method %d", o.Method)
 	}
@@ -217,10 +309,42 @@ func SparsifyContext(ctx context.Context, g *graph.Graph, opts Options) (*Result
 			res.EdgeIdx = append(res.EdgeIdx, i)
 		}
 	}
-	res.Sparsifier = g.Subgraph(res.EdgeIdx)
+	res.Sparsifier = WeightedSubgraph(g, res.EdgeIdx, res.Reweight)
 	res.Stats.Total = time.Since(start)
 	return res, nil
 }
+
+// WeightedSubgraph builds the subgraph over g's vertex set containing
+// the listed edges, honoring per-edge weight overrides (nil or zero
+// entries keep the original weight). With no overrides it is exactly
+// g.Subgraph; the ER method and the sharded stitch use it to assemble
+// reweighted sparsifiers.
+func WeightedSubgraph(g *graph.Graph, edgeIdx []int, reweight []float64) *graph.Graph {
+	if reweight == nil {
+		return g.Subgraph(edgeIdx)
+	}
+	edges := make([]graph.Edge, len(edgeIdx))
+	for i, e := range edgeIdx {
+		ed := g.Edges[e]
+		if w := reweight[e]; w > 0 {
+			ed.W = w
+		}
+		edges[i] = ed
+	}
+	// g.Edges is already normalized (U < V, deduplicated), so the copy
+	// qualifies for the validation-free constructor and edge order is
+	// preserved exactly.
+	return graph.FromNormalized(g.N, edges)
+}
+
+// erRankKeepFactor and erRankKeepMin bound the ERRanking prefilter:
+// each densification round scores only the top keep = max(8·quota,
+// 1024) candidates by sketched leverage score instead of the whole
+// off-subgraph pool.
+const (
+	erRankKeepFactor = 8
+	erRankKeepMin    = 1024
+)
 
 // runTraceReduction is Algorithm 2.
 func runTraceReduction(ctx context.Context, g *graph.Graph, st *tree.Tree, res *Result, budget int, o Options) error {
@@ -229,6 +353,17 @@ func runTraceReduction(ctx context.Context, g *graph.Graph, st *tree.Tree, res *
 		perRound = budget
 	}
 	excl := newExcluder(g, st, o.SimilarityHops)
+
+	// With ERRanking, sketch the leverage scores once up front; the
+	// densification rounds use them to shrink the eq. (20) scoring pool.
+	var erScores *resist.Result
+	if o.ERRanking {
+		var err error
+		erScores, err = erEstimate(ctx, g, o, &res.Stats)
+		if err != nil {
+			return fmt.Errorf("sparsify: er ranking: %w", err)
+		}
+	}
 
 	// Round 1: exact truncated trace reduction on the tree (eq. 15).
 	t0 := time.Now()
@@ -264,6 +399,13 @@ func runTraceReduction(ctx context.Context, g *graph.Graph, st *tree.Tree, res *
 
 		t0 = time.Now()
 		cand = offSubgraphEdges(g, res.InSub)
+		if erScores != nil {
+			keep := erRankKeepFactor * quota
+			if keep < erRankKeepMin {
+				keep = erRankKeepMin
+			}
+			cand = erPrefilter(g, cand, erScores.R, keep)
+		}
 		scores, err = scoreGeneralPhase(ctx, g, res.InSub, f, z, cand, o)
 		if err != nil {
 			return fmt.Errorf("sparsify: round %d: %w", iter, err)

@@ -56,7 +56,7 @@ func TestOptionRoundTrip(t *testing.T) {
 	}
 	o := Options{Alpha: 0.3, Rounds: 2, Seed: 5}
 	cfg = newConfig([]Option{WithSparsifyOptions(o)})
-	if cfg.Sparsify != o {
+	if !reflect.DeepEqual(cfg.Sparsify, o) {
 		t.Errorf("WithSparsifyOptions: %+v != %+v", cfg.Sparsify, o)
 	}
 	// Later options win.

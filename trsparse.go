@@ -27,8 +27,14 @@
 // effective-weight spanning tree, then five rounds of off-subgraph edge
 // recovery ranked by (approximate, truncated) trace reduction of
 // Tr(L_S⁻¹ L_G), with spectrally similar edges excluded per round. Use
-// WithMethod to select the GRASS or feGRASS baselines instead, and
-// WithSparsifierGraph to measure a subgraph you built yourself.
+// WithMethod to select another construction — GRASS (spectral
+// perturbation), FeGRASS (tree effective resistance), or MethodER
+// (Spielman–Srivastava effective-resistance sampling via
+// Johnson–Lindenstrauss sketches, a quality-vs-speed dial tuned with
+// WithERSketches / WithEREpsilon) — and WithSparsifierGraph to measure a
+// subgraph you built yourself. WithERRanking reuses the sketched
+// resistances inside trace reduction itself, prefiltering each recovery
+// round's candidate pool by leverage score.
 //
 // Large graphs can be built through the partition-parallel sharded
 // pipeline (WithShardThreshold, WithShards): the graph is recursively
@@ -99,6 +105,16 @@ const (
 	// FeGRASS is the effective-resistance baseline of Liu, Yu & Feng
 	// (TCAD 2021).
 	FeGRASS = sparsify.FeGRASS
+	// MethodER is Spielman–Srivastava effective-resistance sampling
+	// (arXiv:0803.0929): per-edge resistances are estimated with
+	// Johnson–Lindenstrauss sketches solved through the PCG stack,
+	// then off-tree edges are importance-sampled proportional to
+	// w·R_eff with weight reweighting (the spanning tree is always
+	// kept). A single-round quality-vs-speed dial: faster to build
+	// than trace reduction on large graphs, modestly more PCG
+	// iterations at solve time. Tune with WithERSketches and
+	// WithEREpsilon; see TUNING.md.
+	MethodER = sparsify.ER
 )
 
 // Options configures Sparsify; the zero value selects the paper's
