@@ -49,6 +49,8 @@ func main() {
 	hardMaxVertices := flag.Int("hard-max-vertices", 0, "absolute admission cap, sharded path included (0 = 8x max-vertices)")
 	shardThreshold := flag.Int("shard-threshold", 0, "shard graphs above this vertex count even below max-vertices (0 shards only when max-vertices forces it)")
 	shards := flag.Int("shards", 0, "default cluster count K for sharded builds (0 = auto from threshold)")
+	applyWorkers := flag.Int("apply-workers", 0, "per-apply goroutine fan-out of Schwarz preconditioners, bit-identical to sequential (0 = GOMAXPROCS, negative = sequential)")
+	coalesceWindow := flag.Duration("coalesce-window", 0, "hold /v2/solve requests this long to coalesce same-artifact solves into one block solve (0 disables)")
 	method := flag.String("method", "trace", "sparsification method: trace | grass | fegrass | er")
 	alpha := flag.Float64("alpha", 0, "fraction of |V| off-tree edges to recover (0 = paper default 0.10)")
 	rounds := flag.Int("rounds", 0, "densification rounds N_r (0 = paper default 5)")
@@ -93,6 +95,8 @@ func main() {
 			HardMaxVertices:   *hardMaxVertices,
 			ShardThreshold:    *shardThreshold,
 			Shards:            *shards,
+			ApplyWorkers:      *applyWorkers,
+			CoalesceWindow:    *coalesceWindow,
 			Fleet:             splitFleet(*fleet),
 			FleetOpts: fabric.Options{
 				Timeout:    *fleetTimeout,

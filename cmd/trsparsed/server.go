@@ -449,8 +449,14 @@ type solveRequest struct {
 	// alternatively pass the graph inline.
 	Key   string        `json:"key,omitempty"`
 	Graph *graphPayload `json:"graph,omitempty"`
-	B     []float64     `json:"b"`
-	Tol   float64       `json:"tol,omitempty"`
+	B     []float64     `json:"b,omitempty"`
+	// Rhs is the batched form: an array of right-hand-side vectors solved
+	// together as one block solve (one matrix sweep and one
+	// preconditioner apply per iteration serve every column). Exactly one
+	// of B and Rhs must be set; every Rhs column must have the same
+	// length.
+	Rhs [][]float64 `json:"rhs,omitempty"`
+	Tol float64     `json:"tol,omitempty"`
 }
 
 type solveResponse struct {
@@ -466,6 +472,24 @@ type solveResponse struct {
 	// (the key pins the build, so ?precond= cannot change it — re-POST
 	// /v2/sparsify with the desired strategy instead).
 	Precond *precondInfo `json:"precond,omitempty"`
+}
+
+// solveColumn is one right-hand side's outcome in a batched solve
+// response: its solution plus its own convergence record (block PCG
+// converges and deflates columns independently).
+type solveColumn struct {
+	X          []float64 `json:"x"`
+	Iterations int       `json:"iterations"`
+	RelRes     float64   `json:"relres"`
+	Converged  bool      `json:"converged"`
+}
+
+// solveBatchResponse answers the batched request form (rhs array).
+type solveBatchResponse struct {
+	Key     string        `json:"key"`
+	Results []solveColumn `json:"results"`
+	Cached  bool          `json:"cached"`
+	Precond *precondInfo  `json:"precond,omitempty"`
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -485,48 +509,98 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding JSON body: %w", err))
 		return
 	}
-	if len(req.B) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("missing rhs b"))
+	if len(req.B) > 0 && len(req.Rhs) > 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("pass either b (one rhs) or rhs (a batch), not both"))
+		return
+	}
+	if len(req.B) == 0 && len(req.Rhs) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("missing right-hand side: pass b (one vector) or rhs (an array of vectors)"))
+		return
+	}
+	// Ragged batches are a malformed request, rejected here with the
+	// machine-readable invalid_request code before any engine work: the
+	// engine's own dimension check would blame the artifact instead.
+	for i, col := range req.Rhs {
+		if len(col) != len(req.Rhs[0]) {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("ragged rhs batch: column %d has length %d, column 0 has %d", i, len(col), len(req.Rhs[0])))
+			return
+		}
+	}
+	if len(req.Rhs) > 0 && len(req.Rhs[0]) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("rhs columns are empty"))
 		return
 	}
 
-	var res *engine.SolveResult
+	var art *engine.Artifact
+	cached := false
 	switch {
 	case req.Key != "":
-		art, ok := s.eng.Lookup(req.Key)
-		if !ok {
+		var ok bool
+		if art, ok = s.eng.Lookup(req.Key); !ok {
 			writeErr(w, http.StatusNotFound,
 				fmt.Errorf("no cached artifact for key %q (evicted or never built); re-POST /v2/sparsify", req.Key))
 			return
 		}
-		res, err = s.eng.SolveArtifact(ctx, art, req.B, req.Tol)
-		if res != nil {
-			res.CacheHit = true
-		}
+		cached = true
 	case req.Graph != nil:
-		var g *graph.Graph
-		g, err = req.Graph.toGraph()
+		g, err := req.Graph.toGraph()
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err = s.eng.SolveWith(ctx, g, req.B, req.Tol, bo)
+		// Reject a mis-sized rhs before paying for sparsification and
+		// factorization (the engine re-checks for the by-key path).
+		n := len(req.B)
+		if len(req.Rhs) > 0 {
+			n = len(req.Rhs[0])
+		}
+		if n != g.N {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf(
+				"rhs has length %d, graph has %d vertices (%w)", n, g.N, core.ErrDimension))
+			return
+		}
+		if art, cached, err = s.eng.SparsifyWith(ctx, g, bo); err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
 	default:
 		writeErr(w, http.StatusBadRequest, errors.New("pass either key or graph"))
 		return
 	}
+
+	if len(req.Rhs) > 0 {
+		results, err := s.eng.SolveBatchArtifact(ctx, art, req.Rhs, req.Tol)
+		if err != nil {
+			writeErr(w, statusOf(err), err)
+			return
+		}
+		cols := make([]solveColumn, len(results))
+		for i, r := range results {
+			cols[i] = solveColumn{X: r.X, Iterations: r.Iterations, RelRes: r.RelRes, Converged: r.Converged}
+		}
+		writeJSON(w, http.StatusOK, solveBatchResponse{
+			Key:     art.Key,
+			Results: cols,
+			Cached:  cached,
+			Precond: precondInfoOf(art),
+		})
+		return
+	}
+
+	res, err := s.eng.SolveArtifact(ctx, art, req.B, req.Tol)
 	if err != nil {
 		writeErr(w, statusOf(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, solveResponse{
-		Key:        res.Artifact.Key,
+		Key:        art.Key,
 		X:          res.X,
 		Iterations: res.Iterations,
 		RelRes:     res.RelRes,
 		Converged:  res.Converged,
-		Cached:     res.CacheHit,
-		Precond:    precondInfoOf(res.Artifact),
+		Cached:     cached,
+		Precond:    precondInfoOf(art),
 	})
 }
 
@@ -593,15 +667,20 @@ type statsResponse struct {
 	HitRate       float64 `json:"cache_hit_rate"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Workers       int     `json:"workers"`
+	// CoalesceWindowMS echoes the configured -coalesce-window (0 when
+	// request coalescing is disabled), so operators reading batch_p50
+	// know what window produced it.
+	CoalesceWindowMS float64 `json:"coalesce_window_ms"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Stats:         st,
-		HitRate:       st.HitRate(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Workers:       s.eng.Options().Workers,
+		Stats:            st,
+		HitRate:          st.HitRate(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Workers:          s.eng.Options().Workers,
+		CoalesceWindowMS: float64(s.eng.Options().CoalesceWindow) / float64(time.Millisecond),
 	})
 }
 

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lap"
+)
+
+// sparsifyFor builds one artifact over HTTP and returns its key plus the
+// graph, the setup every batched-solve test shares.
+func sparsifyFor(t *testing.T, url string) (string, *graph.Graph) {
+	t.Helper()
+	g := gen.Grid2D(30, 30, 2)
+	var sp sparsifyResponse
+	if resp := postJSON(t, url+"/v2/sparsify?edges=false", graphRequest(g), &sp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sparsify status = %d", resp.StatusCode)
+	}
+	return sp.Key, g
+}
+
+func randRhs(g *graph.Graph, cols int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rhs := make([][]float64, cols)
+	for k := range rhs {
+		rhs[k] = make([]float64, g.N)
+		for i := range rhs[k] {
+			rhs[k][i] = rng.NormFloat64()
+		}
+	}
+	return rhs
+}
+
+func TestSolveBatchedRhs(t *testing.T) {
+	ts := newTestServer(t)
+	key, g := sparsifyFor(t, ts.URL)
+	rhs := randRhs(g, 3, 11)
+
+	var out solveBatchResponse
+	resp := postJSON(t, ts.URL+"/v2/solve", solveRequest{Key: key, Rhs: rhs, Tol: 1e-6}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batched solve status = %d", resp.StatusCode)
+	}
+	if len(out.Results) != len(rhs) {
+		t.Fatalf("got %d results for %d rhs columns", len(out.Results), len(rhs))
+	}
+	if !out.Cached || out.Key != key {
+		t.Fatalf("batched solve response: %+v", out)
+	}
+	lg := lap.Laplacian(g, lap.Shift(g, 0))
+	r := make([]float64, g.N)
+	for k, col := range out.Results {
+		if !col.Converged || col.Iterations <= 0 || col.RelRes > 1e-6 {
+			t.Fatalf("column %d did not converge: iters=%d relres=%g", k, col.Iterations, col.RelRes)
+		}
+		// Independent residual check per column against the same
+		// regularized Laplacian the engine solves with.
+		lg.MulVec(col.X, r)
+		var rn, bn float64
+		for i := range r {
+			d := rhs[k][i] - r[i]
+			rn += d * d
+			bn += rhs[k][i] * rhs[k][i]
+		}
+		if rel := math.Sqrt(rn / bn); rel > 1e-6 {
+			t.Fatalf("column %d: recomputed residual %g exceeds 1e-6", k, rel)
+		}
+	}
+}
+
+func TestSolveBatchedRhsRaggedRejected(t *testing.T) {
+	ts := newTestServer(t)
+	key, g := sparsifyFor(t, ts.URL)
+	rhs := randRhs(g, 3, 12)
+	rhs[2] = rhs[2][:g.N-1]
+
+	var er errorResponse
+	resp := postJSON(t, ts.URL+"/v2/solve", solveRequest{Key: key, Rhs: rhs}, &er)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ragged batch status = %d, want 400", resp.StatusCode)
+	}
+	if er.Code != "invalid_request" {
+		t.Fatalf("ragged batch code = %q, want invalid_request", er.Code)
+	}
+}
+
+func TestSolveRejectsBothBAndRhs(t *testing.T) {
+	ts := newTestServer(t)
+	key, g := sparsifyFor(t, ts.URL)
+	rhs := randRhs(g, 2, 13)
+
+	var er errorResponse
+	resp := postJSON(t, ts.URL+"/v2/solve", solveRequest{Key: key, B: rhs[0], Rhs: rhs}, &er)
+	if resp.StatusCode != http.StatusBadRequest || er.Code != "invalid_request" {
+		t.Fatalf("b+rhs request: status %d code %q, want 400 invalid_request", resp.StatusCode, er.Code)
+	}
+}
+
+func TestSolveBatchedRhsMisSizedInlineGraphRejected(t *testing.T) {
+	ts := newTestServer(t)
+	g := gen.Grid2D(10, 10, 3)
+	rhs := randRhs(g, 2, 14)
+	rhs[0] = rhs[0][:g.N-5]
+	rhs[1] = rhs[1][:g.N-5]
+
+	var er errorResponse
+	resp := postJSON(t, ts.URL+"/v2/solve",
+		solveRequest{Graph: &graphPayload{N: g.N, Edges: edgesPayload(g)}, Rhs: rhs}, &er)
+	if resp.StatusCode != http.StatusBadRequest || er.Code != "dimension" {
+		t.Fatalf("mis-sized batch: status %d code %q, want 400 dimension", resp.StatusCode, er.Code)
+	}
+}
+
+// TestSolveCoalescingOverHTTP drives concurrent single-rhs /v2/solve
+// requests at an engine with a coalescing window and checks the
+// counters the window is supposed to move: at least one batch executed,
+// at least one request joined another's batch, and /v2/stats surfaces
+// batch_p50 and the configured window.
+func TestSolveCoalescingOverHTTP(t *testing.T) {
+	eng := engine.New(engine.Options{
+		Workers:        4,
+		CacheSize:      8,
+		CoalesceWindow: 75 * time.Millisecond,
+	})
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+	key, g := sparsifyFor(t, ts.URL)
+	rhs := randRhs(g, 6, 15)
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := range rhs {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			<-start
+			var sol solveResponse
+			resp := postJSON(t, ts.URL+"/v2/solve", solveRequest{Key: key, B: rhs[k], Tol: 1e-6}, &sol)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("solve %d status = %d", k, resp.StatusCode)
+				return
+			}
+			if !sol.Converged || sol.RelRes > 1e-6 {
+				t.Errorf("solve %d did not converge: %+v", k, sol)
+			}
+		}(k)
+	}
+	close(start)
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/v2/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SolveBatches < 1 {
+		t.Fatalf("no batch executed: %+v", st.Stats)
+	}
+	if st.SolvesCoalesced < 1 {
+		t.Fatalf("no solve joined a batch: %+v", st.Stats)
+	}
+	if st.BatchP50 < 1 {
+		t.Fatalf("batch_p50 = %g, want >= 1", st.BatchP50)
+	}
+	if st.CoalesceWindowMS != 75 {
+		t.Fatalf("coalesce_window_ms = %g, want 75", st.CoalesceWindowMS)
+	}
+}

@@ -301,3 +301,36 @@ func TestGraphLaplacianPSDProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSolvePanelBitIdenticalToScalar(t *testing.T) {
+	const n, s = 40, 5
+	a := laplacianPlusEps(n, 60, 7)
+	f, err := New(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	b := make([]float64, n*s)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n*s)
+	y := make([]float64, n*s)
+	f.SolvePanelNoAlloc(x, b, y, s)
+
+	bk := make([]float64, n)
+	xk := make([]float64, n)
+	yk := make([]float64, n)
+	for k := 0; k < s; k++ {
+		for i := 0; i < n; i++ {
+			bk[i] = b[i*s+k]
+		}
+		f.SolveToNoAlloc(xk, bk, yk)
+		for i := 0; i < n; i++ {
+			if x[i*s+k] != xk[i] {
+				t.Fatalf("panel column %d differs from scalar solve at row %d: %g vs %g",
+					k, i, x[i*s+k], xk[i])
+			}
+		}
+	}
+}

@@ -119,6 +119,24 @@ func (p *Pencil) SolveCtx(ctx context.Context, b, x []float64, opts solver.Optio
 	return r, wrapCanceled(r.Err)
 }
 
+// SolveBlockCtx runs the multi-RHS block PCG on L_G X = B: all columns
+// share each iteration's matrix–panel product and preconditioner panel
+// apply (solver.PCGBlock), with per-column convergence and deflation.
+// bs and xs are parallel slices of N-vectors; per-column results come
+// back in order. Cancellation stops the whole block and returns the
+// wrapped ErrCanceled alongside the partial results, with each xs entry
+// holding that column's best iterate.
+func (p *Pencil) SolveBlockCtx(ctx context.Context, bs, xs [][]float64, opts solver.Options) ([]solver.Result, error) {
+	opts.Ctx = ctx
+	rs := solver.PCGBlock(p.LG, bs, xs, p.Pre, opts)
+	for _, r := range rs {
+		if r.Err != nil {
+			return rs, wrapCanceled(r.Err)
+		}
+	}
+	return rs, nil
+}
+
 // CondNumberCtx is CondNumber with cancellation, polled per Lanczos step.
 func (p *Pencil) CondNumberCtx(ctx context.Context, steps int, seed int64) (float64, error) {
 	o := eig.GenMaxOptions{Steps: steps, Seed: seed}

@@ -73,6 +73,13 @@ type Config struct {
 	// (0 keeps the adaptive default ≈ √(N/K)/4; negative disables
 	// overlap). Ignored by the monolithic strategy.
 	Overlap int
+	// ApplyWorkers bounds the Schwarz preconditioner's per-apply
+	// parallelism: within each sweep color the block corrections are
+	// independent and fan out across this many goroutines, bit-identical
+	// to the sequential sweep. 0 uses GOMAXPROCS; negative forces the
+	// sequential sweep. Ignored by the monolithic strategy (a single
+	// triangular solve has no blocks to fan out).
+	ApplyWorkers int
 	// Rebalance is the incremental rebuild's balance-guard factor: an
 	// Update whose delta grew any retained cluster past Rebalance × its
 	// fair edge share (M/K), or past Rebalance × its own base-build size,
@@ -304,10 +311,11 @@ func (s *Sparsifier) precondBuilder(ctx context.Context, cfg Config) (precond.Bu
 		assign = plan.Assign
 	}
 	return precond.NewSchwarz(assign, precond.SchwarzOptions{
-		Workers: cfg.Sparsify.Workers,
-		Overlap: cfg.Overlap,
-		Keys:    keys,
-		Cache:   cfg.Factors,
+		Workers:      cfg.Sparsify.Workers,
+		Overlap:      cfg.Overlap,
+		Keys:         keys,
+		Cache:        cfg.Factors,
+		ApplyWorkers: cfg.ApplyWorkers,
 	}), nil
 }
 
@@ -356,26 +364,62 @@ func (s *Sparsifier) SolveTol(ctx context.Context, b []float64, tol float64) (*S
 	return &Solution{X: x, Iterations: r.Iterations, RelRes: r.RelRes, Converged: r.Converged}, nil
 }
 
+// maxPanelCols caps how many right-hand sides one block-PCG panel
+// carries. Wider panels amortize the per-iteration matrix and factor
+// traversals over more columns, but cost five panels of working memory
+// and couple the iteration count of every column in the chunk to its
+// slowest member (deflation recovers most, not all, of that); past ~16
+// columns the traversals are already a small fraction of each iteration
+// and the extra width buys nothing.
+const maxPanelCols = 16
+
 // SolveBatch solves one system per right-hand side against the same
-// factorization, fanning the solves across the configured construction
-// workers. Results are in input order; the first error (dimension mismatch
-// or cancellation) aborts the batch.
+// factorization with block PCG: every column in a chunk of up to
+// maxPanelCols shares each iteration's matrix–panel product and
+// preconditioner panel apply — the memory-bound traversals that dominate
+// a scalar solve — while keeping its own scalar recurrences, converging
+// and deflating independently. Chunks fan out across the configured
+// construction workers. Results are in input order; the first error
+// (dimension mismatch or cancellation) aborts the batch.
 func (s *Sparsifier) SolveBatch(ctx context.Context, bs [][]float64) ([]*Solution, error) {
+	return s.SolveBatchTol(ctx, bs, 0)
+}
+
+// SolveBatchTol is SolveBatch with a per-call tolerance override (tol ≤ 0
+// selects the configured default). Every column in the batch solves to
+// the same tolerance; callers mixing tolerances (the engine's request
+// coalescer) group by tolerance first.
+func (s *Sparsifier) SolveBatchTol(ctx context.Context, bs [][]float64, tol float64) ([]*Solution, error) {
 	for i, b := range bs {
 		if len(b) != s.n {
 			return nil, fmt.Errorf("%w: rhs %d has length %d, graph has %d vertices", ErrDimension, i, len(b), s.n)
 		}
 	}
+	if tol <= 0 {
+		tol = s.cfg.Tol
+	}
 	out := make([]*Solution, len(bs))
-	errs := make([]error, len(bs))
-	// The construction path resolves its own workers default internally,
-	// so an unset Config still means "all cores" here, not one.
+	switch len(bs) {
+	case 0:
+		return out, nil
+	case 1:
+		// A single right-hand side gains nothing from panels: the scalar
+		// loop avoids the interleaving copies entirely.
+		sol, err := s.SolveTol(ctx, bs[0], tol)
+		if err != nil {
+			return nil, err
+		}
+		out[0] = sol
+		return out, nil
+	}
+	nchunks := (len(bs) + maxPanelCols - 1) / maxPanelCols
+	errs := make([]error, nchunks)
 	workers := s.cfg.Sparsify.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(bs) {
-		workers = len(bs)
+	if workers > nchunks {
+		workers = nchunks
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -383,13 +427,31 @@ func (s *Sparsifier) SolveBatch(ctx context.Context, bs [][]float64) ([]*Solutio
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = s.Solve(ctx, bs[i])
+			for ci := range next {
+				lo := ci * maxPanelCols
+				hi := lo + maxPanelCols
+				if hi > len(bs) {
+					hi = len(bs)
+				}
+				xs := make([][]float64, hi-lo)
+				for k := range xs {
+					xs[k] = make([]float64, s.n)
+				}
+				rs, err := s.pen.SolveBlockCtx(ctx, bs[lo:hi], xs, solver.Options{
+					Tol: tol, MaxIter: s.cfg.MaxIter, CheckEvery: s.cfg.CheckEvery,
+				})
+				if err != nil {
+					errs[ci] = err
+					continue
+				}
+				for k, r := range rs {
+					out[lo+k] = &Solution{X: xs[k], Iterations: r.Iterations, RelRes: r.RelRes, Converged: r.Converged}
+				}
 			}
 		}()
 	}
-	for i := range bs {
-		next <- i
+	for ci := 0; ci < nchunks; ci++ {
+		next <- ci
 	}
 	close(next)
 	wg.Wait()

@@ -124,6 +124,13 @@ func CondNumberApply(lg *sparse.CSC, apply func(z, r []float64), opts GenMaxOpti
 // pencil constructions in this library: the preconditioner dominates a
 // subgraph of G under the shared shift). The context is polled before
 // every step.
+//
+// The apply callback may be internally concurrent — the Schwarz
+// preconditioner fans its same-color block corrections across a worker
+// pool with pooled scratch — as long as it has written all of z before
+// returning. Lanczos only needs that sequential contract, and the
+// Schwarz fan-out is bit-identical to its sequential sweep, so estimates
+// stay deterministic.
 func CondNumberApplyCtx(ctx context.Context, lg *sparse.CSC, apply func(z, r []float64), opts GenMaxOptions) (float64, error) {
 	n := lg.Cols
 	steps := opts.Steps

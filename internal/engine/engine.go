@@ -109,6 +109,26 @@ type Options struct {
 	// built artifacts (precond.Auto picks Schwarz for sharded builds and
 	// monolithic otherwise; see core.Config.Precond).
 	Precond precond.Kind
+	// ApplyWorkers bounds the per-apply goroutine fan-out of Schwarz
+	// preconditioners built by this engine: same-color block corrections
+	// are support-disjoint and run concurrently, bit-identical to the
+	// sequential sweep (0 = GOMAXPROCS, negative forces sequential). It
+	// has no effect on monolithic preconditioners. See
+	// core.Config.ApplyWorkers.
+	ApplyWorkers int
+	// CoalesceWindow holds each solve-by-artifact request open for this
+	// long so concurrent requests against the same artifact and tolerance
+	// collect into one block solve (a single matrix sweep and
+	// preconditioner apply per iteration serves every collected rhs).
+	// 0 (the default) disables coalescing: each request solves
+	// immediately. The window is a deliberate latency-for-throughput
+	// trade — an isolated request pays the full window before its solve
+	// starts.
+	CoalesceWindow time.Duration
+	// CoalesceMaxBatch caps how many requests one coalesced batch
+	// collects before it executes early (default
+	// DefaultCoalesceMaxBatch). Ignored when CoalesceWindow is 0.
+	CoalesceMaxBatch int
 }
 
 func (o Options) withDefaults() Options {
@@ -129,6 +149,7 @@ type Engine struct {
 	store    *Store
 	clusters *ClusterStore  // nil when cluster caching is disabled
 	fleet    *fabric.Remote // nil when no worker fleet is configured
+	coal     *coalescer     // nil when request coalescing is disabled
 	c        counters
 
 	mu       sync.Mutex
@@ -158,6 +179,9 @@ func New(opts Options) *Engine {
 	}
 	if len(o.Fleet) > 0 {
 		e.fleet = fabric.NewRemote(o.Fleet, o.FleetOpts)
+	}
+	if o.CoalesceWindow > 0 {
+		e.coal = newCoalescer(e, o.CoalesceWindow, o.CoalesceMaxBatch)
 	}
 	return e
 }
@@ -276,6 +300,10 @@ func (e *Engine) resolveBuild(g *graph.Graph, fp Fingerprint, bo BuildOpts) (cor
 		ShardThreshold: threshold,
 		Shards:         shards,
 		Precond:        kind,
+		// ApplyWorkers stays out of the artifact key: the fan-out is
+		// bit-identical to the sequential sweep, so the same graph built
+		// with a different worker bound is the same artifact.
+		ApplyWorkers: e.opts.ApplyWorkers,
 	}
 	cfg.Sparsify.Method = method
 	if e.clusters != nil {
@@ -581,11 +609,17 @@ func (e *Engine) SolveWith(ctx context.Context, g *graph.Graph, b []float64, tol
 // SolveArtifact solves against an already-obtained artifact (e.g. looked
 // up by key), reusing its factorization. The caller's context is threaded
 // into the PCG iterations, so a canceled request stops mid-solve instead
-// of running to convergence for nobody.
+// of running to convergence for nobody. When Options.CoalesceWindow is
+// set, the request may be held for up to the window and executed as one
+// column of a shared block solve with other concurrent requests against
+// the same artifact and tolerance.
 func (e *Engine) SolveArtifact(ctx context.Context, art *Artifact, b []float64, tol float64) (*SolveResult, error) {
 	if len(b) != art.Handle.N() {
 		return nil, fmt.Errorf("engine: rhs has length %d, graph has %d vertices (%w)",
 			len(b), art.Handle.N(), core.ErrDimension)
+	}
+	if e.coal != nil {
+		return e.coal.solve(ctx, art, b, tol)
 	}
 	return runJob(e, ctx, func(jctx context.Context) (*SolveResult, error) {
 		sol, err := art.Handle.SolveTol(jctx, b, tol)
@@ -600,6 +634,40 @@ func (e *Engine) SolveArtifact(ctx context.Context, art *Artifact, b []float64, 
 			Artifact:   art,
 		}, nil
 	})
+}
+
+// SolveBatchArtifact solves every right-hand side in bs against one
+// artifact as a single block solve: one matrix sweep and one
+// preconditioner apply per iteration serve the whole batch, with
+// per-column convergence (see core.Sparsifier.SolveBatchTol). It
+// occupies one worker slot regardless of batch width and bypasses the
+// request coalescer — the caller already batched.
+func (e *Engine) SolveBatchArtifact(ctx context.Context, art *Artifact, bs [][]float64, tol float64) ([]*SolveResult, error) {
+	for i, b := range bs {
+		if len(b) != art.Handle.N() {
+			return nil, fmt.Errorf("engine: rhs %d has length %d, graph has %d vertices (%w)",
+				i, len(b), art.Handle.N(), core.ErrDimension)
+		}
+	}
+	sols, err := runJob(e, ctx, func(jctx context.Context) ([]*core.Solution, error) {
+		e.c.solveBatches.Add(1)
+		e.c.observeBatchSize(len(bs))
+		return art.Handle.SolveBatchTol(jctx, bs, tol)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*SolveResult, len(sols))
+	for i, sol := range sols {
+		out[i] = &SolveResult{
+			X:          sol.X,
+			Iterations: sol.Iterations,
+			RelRes:     sol.RelRes,
+			Converged:  sol.Converged,
+			Artifact:   art,
+		}
+	}
+	return out, nil
 }
 
 // CondNumber estimates κ(L_G, L_P) through g's cached artifact.

@@ -79,6 +79,16 @@ type Stats struct {
 	// counters, degradation totals, remote latency — when a fleet is
 	// configured; absent otherwise.
 	Fleet *fabric.Stats `json:"fleet,omitempty"`
+	// Solve-batching behaviour: block solves executed (window-coalesced
+	// batches plus explicit batched requests), requests that joined an
+	// already-open coalescing batch instead of solving alone, and the
+	// exact batch-width percentiles over executed batches. A healthy
+	// coalescing deployment shows BatchP50 > 1 under concurrent load;
+	// BatchP50 == 1 means the window never caught two requests together.
+	SolveBatches    int64   `json:"solve_batches"`
+	SolvesCoalesced int64   `json:"solves_coalesced"`
+	BatchP50        float64 `json:"batch_p50"`
+	BatchP95        float64 `json:"batch_p95"`
 	// Job behaviour.
 	Jobs      int64 `json:"jobs_total"`
 	InFlight  int64 `json:"jobs_in_flight"`
@@ -162,12 +172,57 @@ type counters struct {
 	incrementalBuilds atomic.Int64
 	clustersReused    atomic.Int64
 	clustersRemote    atomic.Int64
+	solveBatches      atomic.Int64
+	solvesCoalesced   atomic.Int64
+	batchSizes        [batchSizeCap + 1]atomic.Int64
 	jobs              atomic.Int64
 	inFlight          atomic.Int64
 	timeouts          atomic.Int64
 	jobErrors         atomic.Int64
 	latency           histogram
 	incLatency        histogram
+}
+
+// batchSizeCap bounds the exact batch-width distribution; batches wider
+// than this (possible only with an explicit CoalesceMaxBatch above it or
+// a wide client-supplied rhs array) clamp into the last slot, keeping
+// the percentiles conservative rather than wrong.
+const batchSizeCap = 64
+
+// observeBatchSize records one executed block solve's width (in
+// right-hand sides) into the exact size distribution.
+func (c *counters) observeBatchSize(s int) {
+	if s < 1 {
+		return
+	}
+	if s > batchSizeCap {
+		s = batchSizeCap
+	}
+	c.batchSizes[s].Add(1)
+}
+
+// batchPercentile returns the smallest batch width whose cumulative
+// count reaches the q-quantile of the exact size distribution (0 when
+// no batches ran). Unlike the latency percentiles there is no
+// interpolation: widths are small integers and the exact counts are
+// kept, so the answer is the true order statistic.
+func batchPercentile(counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for s, c := range counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			return float64(s)
+		}
+	}
+	return float64(len(counts) - 1)
 }
 
 // snapshotLatency renders one histogram into a bucket list, mean, and
@@ -200,11 +255,19 @@ func (c *counters) snapshot() Stats {
 		IncrementalBuilds: c.incrementalBuilds.Load(),
 		ClustersReused:    c.clustersReused.Load(),
 		ClustersRemote:    c.clustersRemote.Load(),
+		SolveBatches:      c.solveBatches.Load(),
+		SolvesCoalesced:   c.solvesCoalesced.Load(),
 		Jobs:              c.jobs.Load(),
 		InFlight:          c.inFlight.Load(),
 		Timeouts:          c.timeouts.Load(),
 		JobErrors:         c.jobErrors.Load(),
 	}
+	sizes := make([]int64, len(c.batchSizes))
+	for i := range c.batchSizes {
+		sizes[i] = c.batchSizes[i].Load()
+	}
+	s.BatchP50 = batchPercentile(sizes, 0.50)
+	s.BatchP95 = batchPercentile(sizes, 0.95)
 	s.Latency, s.MeanLatencyMS, s.P50LatencyMS, s.P95LatencyMS, s.P99LatencyMS = snapshotLatency(&c.latency)
 	s.IncrementalLatency, s.IncrementalMeanLatencyMS, s.IncrementalP50LatencyMS,
 		s.IncrementalP95LatencyMS, s.IncrementalP99LatencyMS = snapshotLatency(&c.incLatency)

@@ -232,3 +232,49 @@ func TestSchwarzQualityWithin2x(t *testing.T) {
 	}
 	t.Logf("PCG iterations: monolithic=%d schwarz=%d", rm.Iterations, rs.Iterations)
 }
+
+// TestSchwarzParallelApplyBitIdentical600Grid is the full-size
+// bit-identity gate: on the 600×600 grid Laplacian with 32 striped
+// clusters the parallel work gate engages with the real thresholds (no
+// test override), and the fanned-out apply must still be bit-identical
+// to the sequential sweep.
+func TestSchwarzParallelApplyBitIdentical600Grid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds 32 cluster factors on a 360k-vertex grid")
+	}
+	g := gen.Grid2D(600, 600, 1)
+	a := laplacianOf(g)
+	assign := stripes(g.N, 32)
+	// Overlap 4 keeps the factor build a few seconds; the parallel gate
+	// only cares that each color carries tens of thousands of extended
+	// vertices, which 32 stripes of 11k+ guarantee.
+	build := func(applyWorkers int) solver.Preconditioner {
+		pre, st, err := precond.NewSchwarz(assign, precond.SchwarzOptions{
+			Overlap: 4, ApplyWorkers: applyWorkers,
+		}).Build(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applyWorkers > 1 && st.Colors < 2 {
+			t.Fatalf("striped grid colored into %d colors", st.Colors)
+		}
+		return pre
+	}
+	seq := build(-1)
+	par := build(4)
+
+	rng := rand.New(rand.NewSource(600))
+	r := make([]float64, g.N)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	zs := make([]float64, g.N)
+	zp := make([]float64, g.N)
+	seq.Apply(zs, r)
+	par.Apply(zp, r)
+	for i := range zs {
+		if zs[i] != zp[i] {
+			t.Fatalf("parallel apply differs from sequential at %d: %g vs %g", i, zp[i], zs[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chol"
@@ -38,6 +39,14 @@ type SchwarzOptions struct {
 	// cluster is factorized and populated afterward; see FactorCache for
 	// the staleness contract.
 	Cache FactorCache
+	// ApplyWorkers bounds the goroutines that fan one Apply's same-color
+	// block corrections out in parallel. Same-color blocks are
+	// support-disjoint and A-decoupled by the coloring invariant, so the
+	// parallel sweep is bit-identical to the sequential one. 0 (the
+	// default) uses GOMAXPROCS; negative forces the sequential sweep.
+	// Parallelism engages per color only when the color carries enough
+	// blocks and work to amortize goroutine dispatch.
+	ApplyWorkers int
 }
 
 // Overlap clamps for the adaptive default.
@@ -69,6 +78,12 @@ func (o SchwarzOptions) resolveOverlap(n, k int) int {
 func (o SchwarzOptions) withDefaults() SchwarzOptions {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case o.ApplyWorkers == 0:
+		o.ApplyWorkers = runtime.GOMAXPROCS(0)
+	case o.ApplyWorkers < 0:
+		o.ApplyWorkers = 1
 	}
 	return o
 }
@@ -134,6 +149,13 @@ type SchwarzPrecond struct {
 	coarseL  *dense.Matrix // dense Cholesky factor of A₀; nil when K < 2
 	maxLocal int
 	scratch  sync.Pool
+
+	// applyWorkers bounds the per-color block fan-out; colorWork[ci] is
+	// the total extended vertex count of color ci, the work estimate the
+	// parallel gate consults.
+	applyWorkers int
+	colorWork    []int
+	panel        sync.Pool // *[]float64 raw buffers for panel applies
 }
 
 type schwarzScratch struct {
@@ -141,6 +163,14 @@ type schwarzScratch struct {
 	rc         []float64 // coarse residual and solution (in place)
 	t, u       []float64 // sweep residual scratch
 }
+
+// parallelMinWork is the minimum extended-vertex count (× panel width)
+// one color must carry before its block corrections fan out across
+// goroutines; below it the dispatch overhead of even a handful of
+// goroutines is comparable to the block solves themselves. A variable
+// only so the bit-identity tests can force the parallel path on small
+// fixtures; real callers tune ApplyWorkers, not this.
+var parallelMinWork = 2048
 
 // Apply computes z = M⁻¹ r.
 func (p *SchwarzPrecond) Apply(z, r []float64) {
@@ -150,7 +180,7 @@ func (p *SchwarzPrecond) Apply(z, r []float64) {
 		for i := range z {
 			z[i] = 0
 		}
-		p.color(z, r, p.colors[0], s)
+		p.color(z, r, 0, s)
 		p.scratch.Put(s)
 		return
 	}
@@ -162,10 +192,10 @@ func (p *SchwarzPrecond) Apply(z, r []float64) {
 	p.coarse(z, r, s, false)
 	m := len(p.colors)
 	for ci := 0; ci < m; ci++ {
-		p.color(z, r, p.colors[ci], s)
+		p.color(z, r, ci, s)
 	}
 	for ci := m - 2; ci >= 0; ci-- {
-		p.color(z, r, p.colors[ci], s)
+		p.color(z, r, ci, s)
 	}
 	p.residual(s.t, r, z, s.u)
 	p.coarse(z, s.t, s, true)
@@ -222,23 +252,74 @@ func (p *SchwarzPrecond) coarse(z, r []float64, s *schwarzScratch, add bool) {
 // and A-decoupled, so no same-color update changes another block's
 // residual and the additions commute: the step is an exact A-orthogonal
 // projection.
-func (p *SchwarzPrecond) color(z, r []float64, color []int, s *schwarzScratch) {
-	a := p.a
+//
+// The same invariant is what makes the parallel fan-out below exact, not
+// merely approximate: block c writes z only at its own extended indices
+// (disjoint from every same-color peer's), and the z entries its residual
+// reads — rows with an A-entry into its support — belong to no same-color
+// peer either, because such a coupling entry would have linked the two
+// clusters during coloring. No location is read while another goroutine
+// writes it and no location is written twice, so the parallel sweep is
+// bit-identical to the sequential one, per color and per entry.
+func (p *SchwarzPrecond) color(z, r []float64, ci int, s *schwarzScratch) {
+	color := p.colors[ci]
+	if p.applyWorkers > 1 && len(color) > 1 && p.colorWork[ci] >= parallelMinWork {
+		p.colorParallel(z, r, color, s)
+		return
+	}
 	for _, c := range color {
-		idx := p.clusters[c]
-		rl, zl, yl := s.rl[:len(idx)], s.zl[:len(idx)], s.yl[:len(idx)]
-		for j, i := range idx {
-			var az float64
-			for q := a.ColPtr[i]; q < a.ColPtr[i+1]; q++ {
-				az += a.Val[q] * z[a.RowIdx[q]]
-			}
-			rl[j] = r[i] - az
+		p.block(z, r, c, s)
+	}
+}
+
+// block applies one cluster's correction; see color for the invariants.
+func (p *SchwarzPrecond) block(z, r []float64, c int, s *schwarzScratch) {
+	a := p.a
+	idx := p.clusters[c]
+	rl, zl, yl := s.rl[:len(idx)], s.zl[:len(idx)], s.yl[:len(idx)]
+	for j, i := range idx {
+		var az float64
+		for q := a.ColPtr[i]; q < a.ColPtr[i+1]; q++ {
+			az += a.Val[q] * z[a.RowIdx[q]]
 		}
-		p.factors[c].SolveToNoAlloc(zl, rl, yl)
-		for j, i := range idx {
-			z[i] += zl[j]
+		rl[j] = r[i] - az
+	}
+	p.factors[c].SolveToNoAlloc(zl, rl, yl)
+	for j, i := range idx {
+		z[i] += zl[j]
+	}
+}
+
+// colorParallel fans one color's blocks across a bounded worker pool.
+// The caller's scratch serves the inline worker; extra workers draw their
+// own from the pool, so concurrent block solves never share scratch.
+func (p *SchwarzPrecond) colorParallel(z, r []float64, color []int, s *schwarzScratch) {
+	workers := p.applyWorkers
+	if workers > len(color) {
+		workers = len(color)
+	}
+	var pos atomic.Int64
+	run := func(ws *schwarzScratch) {
+		for {
+			i := int(pos.Add(1)) - 1
+			if i >= len(color) {
+				return
+			}
+			p.block(z, r, color[i], ws)
 		}
 	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := p.scratch.Get().(*schwarzScratch)
+			run(ws)
+			p.scratch.Put(ws)
+		}()
+	}
+	run(s)
+	wg.Wait()
 }
 
 // coarseSolve solves (L Lᵀ) x = b in place given the dense lower factor.
@@ -290,11 +371,12 @@ func (b *schwarzBuilder) Build(a *sparse.CSC) (solver.Preconditioner, *Stats, er
 	}
 
 	p := &SchwarzPrecond{
-		n:        n,
-		a:        a,
-		assign:   b.assign,
-		clusters: make([][]int, k),
-		factors:  make([]*chol.Factor, k),
+		n:            n,
+		a:            a,
+		assign:       b.assign,
+		clusters:     make([][]int, k),
+		factors:      make([]*chol.Factor, k),
+		applyWorkers: b.opts.ApplyWorkers,
 	}
 
 	// Phase 1 (serial, cheap BFS over the structure): extend every
@@ -307,6 +389,12 @@ func (b *schwarzBuilder) Build(a *sparse.CSC) (solver.Preconditioner, *Stats, er
 		}
 	}
 	p.colors = colorClusters(a, p.clusters, k)
+	p.colorWork = make([]int, len(p.colors))
+	for ci, color := range p.colors {
+		for _, c := range color {
+			p.colorWork[ci] += len(p.clusters[c])
+		}
+	}
 
 	// Phase 2 (concurrent on the worker pool): extract each extended
 	// cluster's principal submatrix and factorize it — or adopt a cached
@@ -424,6 +512,7 @@ func (b *schwarzBuilder) Build(a *sparse.CSC) (solver.Preconditioner, *Stats, er
 		}
 		return s
 	}
+	p.panel.New = func() any { return new([]float64) }
 	st.BuildTime = time.Since(start)
 	return p, st, nil
 }

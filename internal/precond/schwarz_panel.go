@@ -1,0 +1,199 @@
+package precond
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dense"
+)
+
+// This file is the multi-RHS mirror of the Schwarz apply: every step of
+// the palindromic sweep — coarse solve, per-block residual gather, local
+// triangular solves, sweep residual — runs once over its data structures
+// for all s panel columns, instead of s times. Per panel column the
+// floating-point operations run in exactly the order the vector Apply
+// runs them (SolvePanelNoAlloc and coarseSolvePanel preserve the scalar
+// op order; MulPanel differs from MulVec only by not skipping exact-zero
+// terms), so a panel apply is bit-identical to s vector applies on the
+// same iterates. Panels are interleaved: entry (i, k) lives at i*s+k.
+
+// getBuf draws a reusable zero-length-capable buffer from the panel pool
+// and grows it to at least size entries. Contents are unspecified.
+func (p *SchwarzPrecond) getBuf(size int) *[]float64 {
+	b := p.panel.Get().(*[]float64)
+	if cap(*b) < size {
+		*b = make([]float64, size)
+	}
+	*b = (*b)[:size]
+	return b
+}
+
+// ApplyPanel computes Z = M⁻¹ R for an interleaved n×s panel
+// (solver.BlockPreconditioner). Safe for concurrent use, like Apply.
+func (p *SchwarzPrecond) ApplyPanel(z, r []float64, s int) {
+	if s == 1 {
+		p.Apply(z, r)
+		return
+	}
+	if p.coarseL == nil {
+		for i := range z[:p.n*s] {
+			z[i] = 0
+		}
+		p.colorPanel(z, r, 0, s)
+		return
+	}
+	k := len(p.factors)
+	buf := p.getBuf(2*p.n*s + k*s)
+	t, u, rc := (*buf)[:p.n*s], (*buf)[p.n*s:2*p.n*s], (*buf)[2*p.n*s:]
+	p.coarsePanel(z, r, rc, s, false)
+	m := len(p.colors)
+	for ci := 0; ci < m; ci++ {
+		p.colorPanel(z, r, ci, s)
+	}
+	for ci := m - 2; ci >= 0; ci-- {
+		p.colorPanel(z, r, ci, s)
+	}
+	p.a.MulPanel(z, u, s)
+	for i := range t {
+		t[i] = r[i] - u[i]
+	}
+	p.coarsePanel(z, t, rc, s, true)
+	p.panel.Put(buf)
+}
+
+// coarsePanel is coarse for a panel: Z (+)= R₀ᵀ A₀⁻¹ R₀ R, with rc a
+// k·s caller-provided panel.
+func (p *SchwarzPrecond) coarsePanel(z, r, rc []float64, s int, add bool) {
+	for i := range rc {
+		rc[i] = 0
+	}
+	for i, c := range p.assign {
+		dst, src := rc[c*s:c*s+s], r[i*s:i*s+s]
+		for k := range dst {
+			dst[k] += src[k]
+		}
+	}
+	coarseSolvePanel(p.coarseL, rc, s)
+	if add {
+		for i, c := range p.assign {
+			dst, src := z[i*s:i*s+s], rc[c*s:c*s+s]
+			for k := range dst {
+				dst[k] += src[k]
+			}
+		}
+	} else {
+		for i, c := range p.assign {
+			copy(z[i*s:i*s+s], rc[c*s:c*s+s])
+		}
+	}
+}
+
+// coarseSolvePanel solves (L Lᵀ) X = B in place for a k·s panel, in the
+// per-column op order of coarseSolve.
+func coarseSolvePanel(l *dense.Matrix, x []float64, s int) {
+	n := l.Rows
+	for i := 0; i < n; i++ {
+		xi := x[i*s : i*s+s]
+		for j := 0; j < i; j++ {
+			v := l.At(i, j)
+			xj := x[j*s : j*s+s]
+			for k := range xi {
+				xi[k] -= v * xj[k]
+			}
+		}
+		d := l.At(i, i)
+		for k := range xi {
+			xi[k] /= d
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		xi := x[i*s : i*s+s]
+		for j := i + 1; j < n; j++ {
+			v := l.At(j, i)
+			xj := x[j*s : j*s+s]
+			for k := range xi {
+				xi[k] -= v * xj[k]
+			}
+		}
+		d := l.At(i, i)
+		for k := range xi {
+			xi[k] /= d
+		}
+	}
+}
+
+// colorPanel applies one color's block corrections to a panel, fanning
+// blocks across the apply workers under the same decoupling invariant as
+// the vector path (see color); the gate scales with panel width because
+// each block now carries s columns of work.
+func (p *SchwarzPrecond) colorPanel(z, r []float64, ci, s int) {
+	color := p.colors[ci]
+	if p.applyWorkers > 1 && len(color) > 1 && p.colorWork[ci]*s >= parallelMinWork {
+		workers := p.applyWorkers
+		if workers > len(color) {
+			workers = len(color)
+		}
+		var pos atomic.Int64
+		run := func() {
+			buf := p.getBuf(3*p.maxLocal*s + s)
+			for {
+				i := int(pos.Add(1)) - 1
+				if i >= len(color) {
+					break
+				}
+				p.blockPanel(z, r, color[i], s, *buf)
+			}
+			p.panel.Put(buf)
+		}
+		var wg sync.WaitGroup
+		for w := 1; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		run()
+		wg.Wait()
+		return
+	}
+	buf := p.getBuf(3*p.maxLocal*s + s)
+	for _, c := range color {
+		p.blockPanel(z, r, c, s, *buf)
+	}
+	p.panel.Put(buf)
+}
+
+// blockPanel applies cluster c's correction to all s panel columns. buf
+// carves into the local residual/solution/triangular panels plus one
+// s-wide row-dot accumulator.
+func (p *SchwarzPrecond) blockPanel(z, r []float64, c, s int, buf []float64) {
+	a := p.a
+	idx := p.clusters[c]
+	ml := p.maxLocal
+	rl, zl, yl, az := buf[:ml*s], buf[ml*s:2*ml*s], buf[2*ml*s:3*ml*s], buf[3*ml*s:3*ml*s+s]
+	for j, i := range idx {
+		for k := range az {
+			az[k] = 0
+		}
+		for q := a.ColPtr[i]; q < a.ColPtr[i+1]; q++ {
+			v := a.Val[q]
+			zr := z[a.RowIdx[q]*s:]
+			for k := range az {
+				az[k] += v * zr[k]
+			}
+		}
+		dst, src := rl[j*s:j*s+s], r[i*s:i*s+s]
+		for k := range dst {
+			dst[k] = src[k] - az[k]
+		}
+	}
+	m := len(idx) * s
+	p.factors[c].SolvePanelNoAlloc(zl[:m], rl[:m], yl[:m], s)
+	for j, i := range idx {
+		dst, src := z[i*s:i*s+s], zl[j*s:j*s+s]
+		for k := range dst {
+			dst[k] += src[k]
+		}
+	}
+}

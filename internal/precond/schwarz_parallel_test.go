@@ -1,0 +1,244 @@
+package precond
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lap"
+	"repro/internal/sparse"
+)
+
+// White-box coverage of the parallel apply path: these tests force the
+// work gate low so the goroutine fan-out engages even on fixtures small
+// enough for -short and -race runs, then check the operator is
+// bit-identical to the sequential sweep — the invariant the coloring
+// argument promises (same-color blocks write disjoint z entries and
+// never read one another's writes).
+
+// threeCommunityLap builds the regularized Laplacian of three grid
+// communities joined by weak bridges (the precond_test fixture, inlined
+// here because white-box tests live in package precond), plus the
+// by-community cluster assignment.
+func threeCommunityLap(side int, seed int64) (*sparse.CSC, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	n := 0
+	offsets := make([]int, 3)
+	for c := 0; c < 3; c++ {
+		offsets[c] = n
+		comm := gen.Grid2D(side, side, seed+int64(c))
+		for _, e := range comm.Edges {
+			edges = append(edges, graph.Edge{U: e.U + n, V: e.V + n, W: e.W})
+		}
+		n += comm.N
+	}
+	sz := side * side
+	for c := 0; c < 3; c++ {
+		a, b := offsets[c], offsets[(c+1)%3]
+		for i := 0; i < 3; i++ {
+			edges = append(edges, graph.Edge{
+				U: a + rng.Intn(sz), V: b + rng.Intn(sz), W: 0.05 + 0.1*rng.Float64(),
+			})
+		}
+	}
+	g := graph.MustNew(n, edges)
+	assign := make([]int, n)
+	for i := range assign {
+		c := i / sz
+		if c > 2 {
+			c = 2
+		}
+		assign[i] = c
+	}
+	return lap.Laplacian(g, lap.Shift(g, 0)), assign
+}
+
+// stripedAssign splits n vertices into k contiguous stripes.
+func stripedAssign(n, k int) []int {
+	assign := make([]int, n)
+	for i := range assign {
+		c := i * k / n
+		if c >= k {
+			c = k - 1
+		}
+		assign[i] = c
+	}
+	return assign
+}
+
+// buildPair builds the same Schwarz preconditioner twice: once forced
+// sequential, once with the given apply fan-out. Builds are
+// deterministic, so the two hold identical factors and the only
+// difference is the apply schedule.
+func buildPair(t *testing.T, a *sparse.CSC, assign []int, workers int) (seq, par *SchwarzPrecond) {
+	t.Helper()
+	build := func(applyWorkers int) *SchwarzPrecond {
+		// Overlap 1 keeps the stripe-coupling graph sparse enough that the
+		// greedy coloring leaves colors with several blocks — otherwise
+		// wide overlap plus the random bridges can couple every pair of
+		// stripes on a fixture this small and each color degenerates to a
+		// single block, which would silently skip the parallel path.
+		pre, _, err := NewSchwarz(assign, SchwarzOptions{ApplyWorkers: applyWorkers, Overlap: 1}).Build(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pre.(*SchwarzPrecond)
+	}
+	return build(-1), build(workers)
+}
+
+// forceParallelGate drops the work gate for the duration of the test so
+// small fixtures take the goroutine path.
+func forceParallelGate(t *testing.T) {
+	t.Helper()
+	old := parallelMinWork
+	parallelMinWork = 1
+	t.Cleanup(func() { parallelMinWork = old })
+}
+
+func assertParallelEligible(t *testing.T, p *SchwarzPrecond) {
+	t.Helper()
+	for _, color := range p.colors {
+		if len(color) > 1 {
+			return
+		}
+	}
+	t.Fatal("fixture produced no color with 2+ blocks: the parallel path would never engage")
+}
+
+func TestSchwarzParallelApplyBitIdentical3Community(t *testing.T) {
+	forceParallelGate(t)
+	a, _ := threeCommunityLap(12, 5)
+	// Stripes rather than communities: the three communities are all
+	// pairwise bridge-coupled, so by-community clusters each get their
+	// own color and nothing would run concurrently.
+	seq, par := buildPair(t, a, stripedAssign(a.Cols, 12), 4)
+	assertParallelEligible(t, par)
+
+	rng := rand.New(rand.NewSource(17))
+	r := make([]float64, a.Cols)
+	zs := make([]float64, a.Cols)
+	zp := make([]float64, a.Cols)
+	for trial := 0; trial < 10; trial++ {
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		seq.Apply(zs, r)
+		par.Apply(zp, r)
+		for i := range zs {
+			if zs[i] != zp[i] {
+				t.Fatalf("trial %d: parallel apply differs from sequential at %d: %g vs %g",
+					trial, i, zp[i], zs[i])
+			}
+		}
+	}
+}
+
+func TestSchwarzApplyPanelBitIdenticalToVectorApplies(t *testing.T) {
+	forceParallelGate(t)
+	a, _ := threeCommunityLap(12, 6)
+	const s = 4
+	n := a.Cols
+	seq, par := buildPair(t, a, stripedAssign(n, 12), 4)
+	assertParallelEligible(t, par)
+
+	rng := rand.New(rand.NewSource(23))
+	rp := make([]float64, n*s)
+	for i := range rp {
+		rp[i] = rng.NormFloat64()
+	}
+	zpanel := make([]float64, n*s)
+	par.ApplyPanel(zpanel, rp, s)
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for k := 0; k < s; k++ {
+		for i := 0; i < n; i++ {
+			r[i] = rp[i*s+k]
+		}
+		seq.Apply(z, r)
+		for i := 0; i < n; i++ {
+			if zpanel[i*s+k] != z[i] {
+				t.Fatalf("panel column %d differs from vector apply at %d: %g vs %g",
+					k, i, zpanel[i*s+k], z[i])
+			}
+		}
+	}
+}
+
+// TestSchwarzParallelApplyConcurrent drives many concurrent Apply and
+// ApplyPanel calls through the goroutine fan-out — the race-job coverage
+// for the pooled scratch and the coarse solve under concurrent applies.
+func TestSchwarzParallelApplyConcurrent(t *testing.T) {
+	forceParallelGate(t)
+	a, _ := threeCommunityLap(10, 9)
+	n := a.Cols
+	seq, par := buildPair(t, a, stripedAssign(n, 10), 4)
+	assertParallelEligible(t, par)
+
+	rng := rand.New(rand.NewSource(31))
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	seq.Apply(want, r)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(panelWidth int) {
+			defer wg.Done()
+			z := make([]float64, n)
+			for rep := 0; rep < 5; rep++ {
+				if panelWidth > 1 {
+					rp := make([]float64, n*panelWidth)
+					zp := make([]float64, n*panelWidth)
+					for i := 0; i < n; i++ {
+						for k := 0; k < panelWidth; k++ {
+							rp[i*panelWidth+k] = r[i]
+						}
+					}
+					par.ApplyPanel(zp, rp, panelWidth)
+					for i := 0; i < n; i++ {
+						z[i] = zp[i*panelWidth]
+					}
+				} else {
+					par.Apply(z, r)
+				}
+				for i := range z {
+					if z[i] != want[i] {
+						errs <- "concurrent apply diverged from sequential result"
+						return
+					}
+				}
+			}
+		}(1 + gi%3)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestSchwarzParallelGateRespectsSmallColors(t *testing.T) {
+	// With the real gate value, a tiny plan must stay sequential: the
+	// parallel path is an optimization for big colors, not a default tax.
+	a, assign := threeCommunityLap(6, 3)
+	pre, _, err := NewSchwarz(assign, SchwarzOptions{ApplyWorkers: 8}).Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pre.(*SchwarzPrecond)
+	for ci, color := range p.colors {
+		if p.applyWorkers > 1 && len(color) > 1 && p.colorWork[ci] >= parallelMinWork {
+			t.Fatalf("color %d (work %d) would fan out on a %d-vertex fixture", ci, p.colorWork[ci], a.Cols)
+		}
+	}
+}

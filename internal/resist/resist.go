@@ -89,6 +89,12 @@ type Options struct {
 	// Overlap overrides the Schwarz overlap layers (0 adaptive,
 	// negative disables); ignored without Assign.
 	Overlap int
+	// ApplyWorkers bounds the Schwarz per-apply fan-out across same-color
+	// blocks (0 auto-sizes, negative forces sequential); ignored without
+	// Assign. The fan-out is bit-identical to the sequential sweep, so
+	// this does not perturb the (Seed, Sketches, Workers) reproducibility
+	// contract.
+	ApplyWorkers int
 	// CheckEvery is the PCG cancellation poll cadence
 	// (default solver.DefaultCheckEvery).
 	CheckEvery int
@@ -162,8 +168,9 @@ func Estimate(ctx context.Context, g *graph.Graph, opts Options) (*Result, error
 	var builder precond.Builder
 	if o.Assign != nil {
 		builder = precond.NewSchwarz(o.Assign, precond.SchwarzOptions{
-			Workers: o.Workers,
-			Overlap: o.Overlap,
+			Workers:      o.Workers,
+			Overlap:      o.Overlap,
+			ApplyWorkers: o.ApplyWorkers,
 		})
 	} else {
 		builder = precond.NewMonolithic()

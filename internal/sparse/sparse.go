@@ -69,6 +69,68 @@ func (a *CSC) MulVec(x, y []float64) {
 	}
 }
 
+// MulPanel computes Y = A X for an interleaved Rows×s panel: entry (i, k)
+// lives at index i*s+k, so one traversal of A serves all s columns — the
+// bandwidth win behind the block-PCG solve path. x needs Cols·s entries
+// and y Rows·s; y is overwritten. Per panel column the accumulation order
+// matches MulVec exactly, except that MulVec's skip of zero x-entries is
+// not taken (those terms add an exact 0 and only matter for the sign of a
+// negative zero).
+func (a *CSC) MulPanel(x, y []float64, s int) {
+	if len(x) < a.Cols*s || len(y) < a.Rows*s {
+		panic(fmt.Sprintf("sparse: MulPanel dimension mismatch: A is %dx%d, x %d, y %d, width %d",
+			a.Rows, a.Cols, len(x), len(y), s))
+	}
+	y = y[:a.Rows*s]
+	for i := range y {
+		y[i] = 0
+	}
+	if s == 8 {
+		a.mulPanel8(x, y)
+		return
+	}
+	for j := 0; j < a.Cols; j++ {
+		xj := x[j*s : j*s+s]
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			v := a.Val[k]
+			ri := a.RowIdx[k] * s
+			row := y[ri : ri+s]
+			// Bounded row slice plus the xj hint let the compiler drop the
+			// per-lane bounds checks in the hot loop.
+			_ = xj[len(row)-1]
+			for c := range row {
+				row[c] += v * xj[c]
+			}
+		}
+	}
+}
+
+// mulPanel8 is the width-8 MulPanel kernel: the source lanes for each
+// column live in eight locals across the column's entries, so every
+// stored entry costs eight fused multiply-adds with no per-lane bounds
+// checks or reloads. Accumulation order per lane matches the generic
+// loop exactly. y must already be zeroed.
+func (a *CSC) mulPanel8(x, y []float64) {
+	const s = 8
+	for j := 0; j < a.Cols; j++ {
+		xj := (*[s]float64)(x[j*s:])
+		x0, x1, x2, x3 := xj[0], xj[1], xj[2], xj[3]
+		x4, x5, x6, x7 := xj[4], xj[5], xj[6], xj[7]
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			v := a.Val[k]
+			row := (*[s]float64)(y[a.RowIdx[k]*s:])
+			row[0] += v * x0
+			row[1] += v * x1
+			row[2] += v * x2
+			row[3] += v * x3
+			row[4] += v * x4
+			row[5] += v * x5
+			row[6] += v * x6
+			row[7] += v * x7
+		}
+	}
+}
+
 // MulVecT computes y = Aᵀ x. y must have length Cols and x length Rows.
 func (a *CSC) MulVecT(x, y []float64) {
 	if len(x) != a.Rows || len(y) != a.Cols {

@@ -184,6 +184,17 @@ func WithSchwarzOverlap(layers int) Option {
 	return func(c *Config) { c.Overlap = layers }
 }
 
+// WithApplyWorkers bounds the Schwarz preconditioner's per-apply
+// parallelism: within each sweep color the block corrections are
+// support-disjoint and A-decoupled, so one Apply fans them out across
+// this many goroutines, bit-identical to the sequential sweep (0, the
+// default, uses GOMAXPROCS; negative forces the sequential sweep). It
+// has no effect on the monolithic preconditioner, whose single
+// triangular solve has no blocks to fan out.
+func WithApplyWorkers(workers int) Option {
+	return func(c *Config) { c.ApplyWorkers = workers }
+}
+
 // WithRebalanceFactor tunes the incremental rebuild's balance guard: an
 // Update whose delta grew any retained cluster past factor × its fair
 // edge share (M/K) — or past factor × its own base-build size — replans
