@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/lap"
 	"repro/internal/precond"
@@ -729,4 +730,171 @@ func BenchmarkAblationExclusion(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamUpdate is the PR-9 acceptance benchmark: the same
+// 600×600 grid as BenchmarkIncrementalRebuild, with a ≤1% delta confined
+// to the grid's 60×60 corner block — the locality the streaming fast
+// path exists for. Three ways to absorb it:
+//
+//   - "legacy" is the PR-5 incremental rebuild (UpdateSparsifier on a
+//     materialized new graph): clean clusters are re-hashed and adopted
+//     through the cluster cache, the cut forest is re-sorted globally,
+//     and both Laplacians are reassembled from scratch.
+//   - "patched" is the new delta path (Update with a graph.Patch):
+//     localized stitch restricted to the dirty clusters, clean-cluster
+//     adoption by index without hashing, and both Laplacians patched in
+//     place — O(dirty) work after the dirty-cluster resparsification.
+//   - "session" is the serving-layer form of the same path: an
+//     engine /v2/stream session absorbing one corner push per op
+//     (fingerprint + artifact store + localized rebuild).
+//
+// The ≥2× acceptance gap is legacy vs patched; a guard before the timed
+// runs enforces the identical-PCG-iteration-count requirement.
+func BenchmarkStreamUpdate(b *testing.B) {
+	ctx := context.Background()
+	// Same deliberately unscaled graph as the other sharded benchmarks,
+	// clustered finely (≈2.8k-node clusters) so the dirty region maps to
+	// a handful of small clusters — the regime streaming serving runs in,
+	// where per-update cost should be the dirty clusters, not the grid.
+	g := Grid2D(600, 600, 1)
+	opts := []Option{WithShardThreshold(g.N / 128), WithSeed(1), WithWorkers(4)}
+	base, err := New(ctx, g, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !base.Sharded() {
+		b.Fatal("base build did not take the sharded path")
+	}
+
+	// All edges interior to the 20×20 corner block (≈0.1% of |E|, well
+	// under the ≤1% acceptance envelope), small enough to land inside a
+	// single ~2.8k-node cluster.
+	inCorner := func(v int) bool { return v%600 < 20 && v/600 < 20 }
+	capEdges := g.M() / 100
+	var d Delta
+	for _, e := range g.Edges {
+		if inCorner(e.U) && inCorner(e.V) {
+			// A mild reweight: the patched pencil keeps the base shift
+			// (see core.updatedPencil), so the drift it induces must stay
+			// below what moves the PCG iteration count.
+			d.Set = append(d.Set, Edge{U: e.U, V: e.V, W: e.W * 1.05})
+			if len(d.Set) == capEdges {
+				break
+			}
+		}
+	}
+	// Both legs get their input materialized outside the timer: legacy
+	// receives the updated graph, patched receives the classified edit
+	// script (graph.Patch) a stream session holds anyway.
+	p, err := d.ApplyPatch(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newG := p.G
+
+	rng := rand.New(rand.NewSource(17))
+	rhs := make([]float64, g.N)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	iters := func(s *Sparsifier) int {
+		b.Helper()
+		sol, err := s.Solve(ctx, rhs)
+		if err != nil || !sol.Converged {
+			b.Fatalf("solve: converged=%v err=%v", sol != nil && sol.Converged, err)
+		}
+		return sol.Iterations
+	}
+
+	// Acceptance guard: the patched path must land on the exact PCG
+	// iteration count of the legacy rebuild — same preconditioner
+	// quality, not a faster-but-worse approximation.
+	legacy, err := core.UpdateSparsifier(ctx, base, newG)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patched, err := core.UpdateSparsifierPatch(ctx, base, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if up := patched.UpdateStats(); up == nil || !up.Localized || !up.LGPatched || !up.LPPatched {
+		b.Fatalf("delta did not take the full fast path: %+v", up)
+	}
+	li, pi := iters(legacy), iters(patched)
+	if li != pi {
+		b.Fatalf("pcg iteration counts diverge: legacy %d, patched %d", li, pi)
+	}
+
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.UpdateSparsifier(ctx, base, newG); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(li), "pcg-iters")
+	})
+
+	b.Run("patched", func(b *testing.B) {
+		var s *Sparsifier
+		for i := 0; i < b.N; i++ {
+			var err error
+			if s, err = core.UpdateSparsifierPatch(ctx, base, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := s.ShardStats()
+		b.ReportMetric(float64(st.ClustersReused)/float64(st.Shards), "reused-frac")
+		b.ReportMetric(float64(st.DirtyClusters), "dirty-clusters")
+		b.ReportMetric(float64(s.UpdateStats().PatchTime)/1e6, "patch-ms")
+		b.ReportMetric(float64(pi), "pcg-iters")
+	})
+
+	b.Run("session", func(b *testing.B) {
+		eng := engine.New(engine.Options{
+			Workers:        4,
+			ShardThreshold: g.N / 128,
+			// The corner delta is one multi-thousand-edit push; size the
+			// queue so flow control never trips mid-benchmark.
+			StreamQueueDepth: 4 * len(d.Set),
+			Sparsify:         sparsify.Options{Seed: 1},
+		})
+		art, _, err := eng.Sparsify(ctx, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := eng.StreamOpen(art.Key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Compounding corner reweights (alternating factors, net
+			// drift ×1.1 per pair) keep every push a distinct graph, so
+			// no op degenerates to a whole-graph cache hit.
+			f := 1.25
+			if i%2 == 1 {
+				f = 0.88
+			}
+			push := Delta{Set: make([]Edge, len(d.Set))}
+			for j, e := range d.Set {
+				push.Set[j] = Edge{U: e.U, V: e.V, W: e.W * f * float64(1+i/2)}
+			}
+			gen, err := sess.Push(push)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Wait(ctx, gen); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		last := sess.Stats().Last
+		if !last.StitchLocalized || !last.LGPatched || !last.LPPatched {
+			b.Fatalf("session rebuild missed the fast path: %+v", last)
+		}
+		b.ReportMetric(float64(last.ClustersReused), "clusters-reused")
+	})
 }

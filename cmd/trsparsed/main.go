@@ -60,6 +60,9 @@ func main() {
 	fleetTimeout := flag.Duration("fleet-timeout", 0, "per-attempt deadline for remote cluster dispatch (0 = 1m)")
 	fleetRetries := flag.Int("fleet-retries", 0, "additional dispatch attempts after a failed one (0 = 2, negative disables)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "duplicate a straggling cluster dispatch on the next-ranked worker after this delay; first result wins (0 disables)")
+	streamSessions := flag.Int("stream-sessions", 0, "max concurrent /v2/stream sessions (0 = default 16, negative disables streaming)")
+	streamStaleness := flag.Int("stream-staleness", 0, "staleness bound: max accepted pushes a session's served artifact may lag before pushes get 429 (0 = default 8)")
+	streamQueue := flag.Int("stream-queue", 0, "queue depth: max pending edge edits per session before pushes get 429 (0 = default 4096)")
 	flag.Parse()
 
 	if *workerMode && *fleet != "" {
@@ -103,7 +106,10 @@ func main() {
 				Retries:    *fleetRetries,
 				HedgeAfter: *hedgeAfter,
 			},
-			Sparsify: sparsify.Options{Method: m, Alpha: *alpha, Rounds: *rounds, Seed: *seed},
+			Sparsify:          sparsify.Options{Method: m, Alpha: *alpha, Rounds: *rounds, Seed: *seed},
+			StreamMaxSessions: *streamSessions,
+			StreamStaleness:   *streamStaleness,
+			StreamQueueDepth:  *streamQueue,
 		})
 		handler = newServer(eng).handler()
 		role = "coordinator"

@@ -46,6 +46,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v2/update", s.handleUpdate)
 	mux.HandleFunc("POST /v2/solve", s.handleSolve)
 	mux.HandleFunc("POST /v2/partition", s.handlePartition)
+	mux.HandleFunc("POST /v2/stream", s.handleStreamOpen)
+	mux.HandleFunc("POST /v2/stream/{id}", s.handleStreamPush)
+	mux.HandleFunc("GET /v2/stream/{id}", s.handleStreamStats)
+	mux.HandleFunc("DELETE /v2/stream/{id}", s.handleStreamClose)
 	mux.HandleFunc("GET /v2/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/sparsify", deprecated("/v2/sparsify", s.handleSparsify))
 	mux.HandleFunc("POST /v1/solve", deprecated("/v2/solve", s.handleSolve))
@@ -671,6 +675,9 @@ type statsResponse struct {
 	// request coalescing is disabled), so operators reading batch_p50
 	// know what window produced it.
 	CoalesceWindowMS float64 `json:"coalesce_window_ms"`
+	// Streams is the per-session detail behind the aggregate stream_*
+	// counters; absent when no sessions are open.
+	Streams []engine.StreamStats `json:"streams,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -681,6 +688,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Workers:          s.eng.Options().Workers,
 		CoalesceWindowMS: float64(s.eng.Options().CoalesceWindow) / float64(time.Millisecond),
+		Streams:          s.eng.StreamStats(),
 	})
 }
 
@@ -713,6 +721,16 @@ func classify(err error) (int, string) {
 		return http.StatusNotFound, "unknown_key"
 	case errors.Is(err, engine.ErrInternal):
 		return http.StatusInternalServerError, "internal"
+	case errors.Is(err, engine.ErrStreamBackpressure):
+		return http.StatusTooManyRequests, "backpressure"
+	case errors.Is(err, engine.ErrStreamClosed):
+		return http.StatusConflict, "stream_closed"
+	case errors.Is(err, engine.ErrStreamLimit):
+		return http.StatusServiceUnavailable, "stream_limit"
+	case errors.Is(err, engine.ErrBadDelta):
+		return http.StatusBadRequest, "bad_delta"
+	case errors.Is(err, errUnknownStream):
+		return http.StatusNotFound, "unknown_stream"
 	}
 	return http.StatusUnprocessableEntity, "invalid_graph"
 }
@@ -744,7 +762,9 @@ type errorResponse struct {
 	Error string `json:"error"`
 	// Code is the machine-readable member of the structured error
 	// taxonomy: canceled | disconnected | not_spd | too_large | dimension
-	// | unknown_key | internal | invalid_request | invalid_graph.
+	// | unknown_key | internal | invalid_request | invalid_graph |
+	// backpressure | stream_closed | stream_limit | bad_delta |
+	// unknown_stream.
 	Code string `json:"code"`
 }
 

@@ -68,11 +68,20 @@ func NewPencilWith(g, p *graph.Graph, shift []float64, builder precond.Builder) 
 	if builder == nil {
 		builder = precond.NewMonolithic()
 	}
+	return newPencilFromParts(g.N, shift, lap.Laplacian(g, shift), lap.Laplacian(p, shift), builder)
+}
+
+// newPencilFromParts wraps pre-assembled Laplacians into a Pencil and
+// builds the preconditioner — the seam the streaming-delta fast path
+// uses to hand in patched matrices instead of paying two full triplet
+// assemblies per update. builder must be non-nil here; NewPencilWith
+// resolves the default.
+func newPencilFromParts(n int, shift []float64, lg, lp *sparse.CSC, builder precond.Builder) (*Pencil, error) {
 	pen := &Pencil{
-		N:     g.N,
+		N:     n,
 		Shift: shift,
-		LG:    lap.Laplacian(g, shift),
-		LP:    lap.Laplacian(p, shift),
+		LG:    lg,
+		LP:    lp,
 	}
 	pre, st, err := builder.Build(pen.LP)
 	if err != nil {

@@ -168,6 +168,13 @@ type Sparsifier struct {
 	sub *graph.Graph     // the sparsifier subgraph
 	pen *Pencil
 
+	// Streaming-delta fast-path state: how the handle's pencil was
+	// derived (nil on cold builds) and the stored-zero debt its patched
+	// matrices carry into the next Update (removals leave dead CSC slots
+	// behind until compaction).
+	upd              *UpdateStats
+	lgZeros, lpZeros int
+
 	buildTime time.Duration
 }
 
@@ -585,6 +592,12 @@ func (s *Sparsifier) Config() Config { return s.cfg }
 // BuildTime reports how long construction (sparsification + factorization)
 // took.
 func (s *Sparsifier) BuildTime() time.Duration { return s.buildTime }
+
+// UpdateStats reports how the streaming-delta fast path served the Update
+// that produced this handle: whether the stitch ran localized and whether
+// the pencil was patched in place instead of reassembled. Nil for handles
+// built cold (New / NewSparsifier).
+func (s *Sparsifier) UpdateStats() *UpdateStats { return s.upd }
 
 // PrecondStats reports how the pencil's preconditioner was built: the
 // strategy, per-cluster factor nonzeros, coarse system size, and build

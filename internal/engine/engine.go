@@ -129,6 +129,20 @@ type Options struct {
 	// collects before it executes early (default
 	// DefaultCoalesceMaxBatch). Ignored when CoalesceWindow is 0.
 	CoalesceMaxBatch int
+	// StreamMaxSessions bounds concurrently open /v2/stream sessions
+	// (default DefaultStreamMaxSessions; negative disables streaming).
+	StreamMaxSessions int
+	// StreamStaleness bounds how many pushed-but-unapplied updates a
+	// stream session may hold before pushes are refused with
+	// ErrStreamBackpressure — the staleness bound: the served artifact is
+	// never more than this many accepted pushes behind the stream head
+	// (default DefaultStreamStaleness).
+	StreamStaleness int
+	// StreamQueueDepth bounds the pending edge edits (set + remove
+	// entries across queued pushes) per session, the companion
+	// backpressure knob for few-but-huge deltas (default
+	// DefaultStreamQueueDepth).
+	StreamQueueDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -154,6 +168,10 @@ type Engine struct {
 
 	mu       sync.Mutex
 	building map[string]*buildCall
+
+	streamMu  sync.Mutex
+	streams   map[string]*Stream
+	streamSeq int64
 }
 
 // buildCall coalesces concurrent builds of the same fingerprint
@@ -173,6 +191,7 @@ func New(opts Options) *Engine {
 		sem:      make(chan struct{}, o.Workers),
 		store:    NewStore(o.CacheSize),
 		building: make(map[string]*buildCall),
+		streams:  make(map[string]*Stream),
 	}
 	if o.ClusterCacheSize >= 0 {
 		e.clusters = NewClusterStore(o.ClusterCacheSize, o.ClusterCacheBytes)
@@ -215,6 +234,9 @@ func (e *Engine) Stats() Stats {
 	if e.fleet != nil {
 		s.Fleet = e.fleet.Stats()
 	}
+	e.streamMu.Lock()
+	s.StreamSessions = len(e.streams)
+	e.streamMu.Unlock()
 	return s
 }
 
@@ -498,8 +520,10 @@ func (e *Engine) build(fp Fingerprint, key string, c *buildCall, fromUpdate bool
 
 // Update builds the artifact for "the base artifact's graph plus delta
 // d", reusing the base's plan and the cluster store: untouched clusters'
-// sparsifiers and Schwarz factors are adopted verbatim, only dirty
-// clusters and the stitch are redone. The new artifact is stored under
+// sparsifiers and Schwarz factors are adopted verbatim, the stitch is
+// localized to the dirty clusters, and the pencil is patched in place
+// when the delta stays inside the dirty region (the streaming-delta fast
+// path; see core.UpdateSparsifierPatch). The new artifact is stored under
 // the updated graph's own fingerprint key — replacing any whole-graph
 // entry already cached under that key, so later plain Sparsify requests
 // for the updated graph hit the incremental artifact. The boolean
@@ -510,10 +534,19 @@ func (e *Engine) Update(ctx context.Context, baseKey string, d graph.Delta) (*Ar
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %q (evicted or never built)", ErrUnknownKey, baseKey)
 	}
-	newG, err := d.Apply(base.Handle.BaseGraph())
+	p, err := d.ApplyPatch(base.Handle.BaseGraph())
 	if err != nil {
 		return nil, false, err
 	}
+	return e.updateFrom(ctx, base, p)
+}
+
+// updateFrom is the shared incremental-build core behind Update and the
+// stream sessions: resolve the updated graph's artifact identity, consult
+// the store, and otherwise run one singleflighted incremental build from
+// the base artifact and the graph patch.
+func (e *Engine) updateFrom(ctx context.Context, base *Artifact, p *graph.Patch) (*Artifact, bool, error) {
+	newG := p.G
 	fp := FingerprintGraph(newG)
 	// The updated artifact inherits the base's build configuration, so
 	// its store key mirrors what a cold build of newG under the same
@@ -549,7 +582,7 @@ func (e *Engine) Update(ctx context.Context, baseKey string, d graph.Delta) (*Ar
 		c = &buildCall{done: make(chan struct{})}
 		e.building[key] = c
 		go e.build(fp, key, c, true, func(ctx context.Context) (*core.Sparsifier, error) {
-			return core.UpdateSparsifier(ctx, base.Handle, newG)
+			return core.UpdateSparsifierPatch(ctx, base.Handle, p)
 		})
 	}
 	e.mu.Unlock()

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/tdigest"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds, inclusive) of the
@@ -28,6 +30,42 @@ func (h *histogram) observe(d time.Duration) {
 	h.counts[i].Add(1)
 	h.sumNS.Add(int64(d))
 	h.n.Add(1)
+}
+
+// latencyTrack pairs the lock-free fixed-bucket histogram with a merging
+// t-digest of the same observations. The buckets answer "what shape is
+// the distribution" cheaply and compatibly with existing dashboards; the
+// digest answers "what is p99, exactly" — fixed millisecond buckets
+// cannot resolve microsecond-scale stream updates (everything lands in
+// the first bucket and interpolation invents the answer). Observations
+// take one short mutex hold; snapshots quantile under the same lock.
+type latencyTrack struct {
+	histogram
+	mu sync.Mutex
+	td *tdigest.TDigest
+}
+
+func (t *latencyTrack) observe(d time.Duration) {
+	t.histogram.observe(d)
+	t.mu.Lock()
+	if t.td == nil {
+		t.td = tdigest.New(0)
+	}
+	t.td.Add(float64(d) / float64(time.Microsecond))
+	t.mu.Unlock()
+}
+
+// quantilesUS returns digest-exact percentiles in microseconds.
+func (t *latencyTrack) quantilesUS(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	t.mu.Lock()
+	if t.td != nil {
+		for i, q := range qs {
+			out[i] = t.td.Quantile(q)
+		}
+	}
+	t.mu.Unlock()
+	return out
 }
 
 // LatencyBucket is one histogram bucket in a stats snapshot.
@@ -107,12 +145,35 @@ type Stats struct {
 	P95LatencyMS  float64         `json:"p95_latency_ms"`
 	P99LatencyMS  float64         `json:"p99_latency_ms"`
 	Latency       []LatencyBucket `json:"latency_histogram"`
+	// Digest-exact percentiles in microseconds (merging t-digest behind
+	// the fixed buckets): the buckets keep dashboard compatibility, the
+	// digest resolves sub-millisecond tails the buckets flatten.
+	P50LatencyUS float64 `json:"p50_latency_us"`
+	P95LatencyUS float64 `json:"p95_latency_us"`
+	P99LatencyUS float64 `json:"p99_latency_us"`
 	// The same latency block for incremental (Update) builds only.
 	IncrementalMeanLatencyMS float64         `json:"incremental_mean_latency_ms"`
 	IncrementalP50LatencyMS  float64         `json:"incremental_p50_latency_ms"`
 	IncrementalP95LatencyMS  float64         `json:"incremental_p95_latency_ms"`
 	IncrementalP99LatencyMS  float64         `json:"incremental_p99_latency_ms"`
 	IncrementalLatency       []LatencyBucket `json:"incremental_latency_histogram"`
+	IncrementalP50LatencyUS  float64         `json:"incremental_p50_latency_us"`
+	IncrementalP95LatencyUS  float64         `json:"incremental_p95_latency_us"`
+	IncrementalP99LatencyUS  float64         `json:"incremental_p99_latency_us"`
+	// Streaming-session behaviour (/v2/stream): open sessions, rebuilds
+	// applied across all sessions, pushes that merged into an already
+	// pending rebuild instead of paying their own, pushes refused for
+	// backpressure, and the per-update rebuild latency — digest-exact in
+	// microseconds, where stream updates actually live.
+	StreamSessions     int             `json:"stream_sessions"`
+	StreamUpdates      int64           `json:"stream_updates"`
+	StreamCoalesced    int64           `json:"stream_coalesced"`
+	StreamBackpressure int64           `json:"stream_backpressure"`
+	StreamMeanMS       float64         `json:"stream_mean_latency_ms"`
+	StreamLatency      []LatencyBucket `json:"stream_latency_histogram"`
+	StreamP50US        float64         `json:"stream_p50_latency_us"`
+	StreamP95US        float64         `json:"stream_p95_latency_us"`
+	StreamP99US        float64         `json:"stream_p99_latency_us"`
 }
 
 // percentile estimates the q-quantile (0 < q < 1) in milliseconds from
@@ -162,25 +223,29 @@ func (s Stats) HitRate() float64 {
 
 // counters aggregates the engine's mutable telemetry.
 type counters struct {
-	hits              atomic.Int64
-	misses            atomic.Int64
-	builds            atomic.Int64
-	shardedBuilds     atomic.Int64
-	shardsBuilt       atomic.Int64
-	abandonedPlans    atomic.Int64
-	schwarzPreconds   atomic.Int64
-	incrementalBuilds atomic.Int64
-	clustersReused    atomic.Int64
-	clustersRemote    atomic.Int64
-	solveBatches      atomic.Int64
-	solvesCoalesced   atomic.Int64
-	batchSizes        [batchSizeCap + 1]atomic.Int64
-	jobs              atomic.Int64
-	inFlight          atomic.Int64
-	timeouts          atomic.Int64
-	jobErrors         atomic.Int64
-	latency           histogram
-	incLatency        histogram
+	hits               atomic.Int64
+	misses             atomic.Int64
+	builds             atomic.Int64
+	shardedBuilds      atomic.Int64
+	shardsBuilt        atomic.Int64
+	abandonedPlans     atomic.Int64
+	schwarzPreconds    atomic.Int64
+	incrementalBuilds  atomic.Int64
+	clustersReused     atomic.Int64
+	clustersRemote     atomic.Int64
+	solveBatches       atomic.Int64
+	solvesCoalesced    atomic.Int64
+	batchSizes         [batchSizeCap + 1]atomic.Int64
+	jobs               atomic.Int64
+	inFlight           atomic.Int64
+	timeouts           atomic.Int64
+	jobErrors          atomic.Int64
+	streamUpdates      atomic.Int64
+	streamCoalesced    atomic.Int64
+	streamBackpressure atomic.Int64
+	latency            latencyTrack
+	incLatency         latencyTrack
+	streamLatency      latencyTrack
 }
 
 // batchSizeCap bounds the exact batch-width distribution; batches wider
@@ -268,8 +333,20 @@ func (c *counters) snapshot() Stats {
 	}
 	s.BatchP50 = batchPercentile(sizes, 0.50)
 	s.BatchP95 = batchPercentile(sizes, 0.95)
-	s.Latency, s.MeanLatencyMS, s.P50LatencyMS, s.P95LatencyMS, s.P99LatencyMS = snapshotLatency(&c.latency)
+	s.Latency, s.MeanLatencyMS, s.P50LatencyMS, s.P95LatencyMS, s.P99LatencyMS = snapshotLatency(&c.latency.histogram)
 	s.IncrementalLatency, s.IncrementalMeanLatencyMS, s.IncrementalP50LatencyMS,
-		s.IncrementalP95LatencyMS, s.IncrementalP99LatencyMS = snapshotLatency(&c.incLatency)
+		s.IncrementalP95LatencyMS, s.IncrementalP99LatencyMS = snapshotLatency(&c.incLatency.histogram)
+	q := c.latency.quantilesUS(0.50, 0.95, 0.99)
+	s.P50LatencyUS, s.P95LatencyUS, s.P99LatencyUS = q[0], q[1], q[2]
+	q = c.incLatency.quantilesUS(0.50, 0.95, 0.99)
+	s.IncrementalP50LatencyUS, s.IncrementalP95LatencyUS, s.IncrementalP99LatencyUS = q[0], q[1], q[2]
+	s.StreamUpdates = c.streamUpdates.Load()
+	s.StreamCoalesced = c.streamCoalesced.Load()
+	s.StreamBackpressure = c.streamBackpressure.Load()
+	var streamMean float64
+	s.StreamLatency, streamMean, _, _, _ = snapshotLatency(&c.streamLatency.histogram)
+	s.StreamMeanMS = streamMean
+	q = c.streamLatency.quantilesUS(0.50, 0.95, 0.99)
+	s.StreamP50US, s.StreamP95US, s.StreamP99US = q[0], q[1], q[2]
 	return s
 }

@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomConnected builds a random connected graph: a spanning path plus
+// extra random chords.
+func randomConnected(t *testing.T, r *rand.Rand, n, extra int) *Graph {
+	t.Helper()
+	var edges []Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{U: i - 1, V: i, W: 1 + r.Float64()})
+	}
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{U: u, V: v, W: 1 + r.Float64()})
+	}
+	return MustNew(n, edges)
+}
+
+// edgeSet canonicalizes a graph's edges for order-insensitive comparison.
+func edgeSet(g *Graph) map[[2]int]float64 {
+	m := make(map[[2]int]float64, len(g.Edges))
+	for _, e := range g.Edges {
+		m[[2]int{e.U, e.V}] = e.W
+	}
+	return m
+}
+
+func sameEdges(t *testing.T, a, b *Graph, label string) {
+	t.Helper()
+	if a.N != b.N {
+		t.Fatalf("%s: N mismatch %d vs %d", label, a.N, b.N)
+	}
+	ea, eb := edgeSet(a), edgeSet(b)
+	if len(ea) != len(eb) {
+		t.Fatalf("%s: edge count mismatch %d vs %d", label, len(ea), len(eb))
+	}
+	for k, w := range ea {
+		if eb[k] != w {
+			t.Fatalf("%s: edge %v weight %g vs %g", label, k, w, eb[k])
+		}
+	}
+}
+
+// randomDelta builds a valid random delta against g: reweights, removals
+// of non-bridge-critical edges, and new chords.
+func randomDelta(r *rand.Rand, g *Graph) Delta {
+	var d Delta
+	removed := make(map[int]bool)
+	for k := 0; k < 3; k++ {
+		idx := r.Intn(len(g.Edges))
+		e := g.Edges[idx]
+		if !removed[idx] && r.Float64() < 0.5 {
+			removed[idx] = true
+			d.Remove = append(d.Remove, [2]int{e.U, e.V})
+		}
+	}
+	for k := 0; k < 5; k++ {
+		idx := r.Intn(len(g.Edges))
+		if removed[idx] {
+			continue
+		}
+		e := g.Edges[idx]
+		d.Set = append(d.Set, Edge{U: e.U, V: e.V, W: 0.5 + r.Float64()})
+	}
+	for k := 0; k < 3; k++ {
+		u, v := r.Intn(g.N), r.Intn(g.N)
+		if u == v {
+			continue
+		}
+		d.Set = append(d.Set, Edge{U: u, V: v, W: 0.5 + r.Float64()})
+	}
+	return d
+}
+
+func TestApplyPatchMatchesApplySemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		g := randomConnected(t, r, 40, 30)
+		d := randomDelta(r, g)
+		p, err := d.ApplyPatch(g)
+		if err != nil {
+			t.Fatalf("trial %d: ApplyPatch: %v", trial, err)
+		}
+		// Reference: the pre-patch semantics, rebuilt through New.
+		want := referenceApply(t, g, d)
+		sameEdges(t, p.G, want, "patched vs reference")
+		if got, _ := d.Apply(g); got != nil {
+			sameEdges(t, got, want, "Apply vs reference")
+		}
+	}
+}
+
+// referenceApply reimplements the original Apply (full New rebuild) as
+// the semantic oracle.
+func referenceApply(t *testing.T, g *Graph, d Delta) *Graph {
+	t.Helper()
+	edges := append([]Edge(nil), g.Edges...)
+	dropped := make([]bool, len(edges))
+	for _, rm := range d.Remove {
+		u, v := rm[0], rm[1]
+		if u > v {
+			u, v = v, u
+		}
+		e, ok := g.EdgeBetween(u, v)
+		if !ok || dropped[e] {
+			t.Fatalf("reference: bad remove (%d,%d)", u, v)
+		}
+		dropped[e] = true
+	}
+	at := make(map[[2]int]int)
+	var added []Edge
+	for _, e := range d.Set {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if idx, ok := g.EdgeBetween(u, v); ok && !dropped[idx] {
+			edges[idx].W = e.W
+			continue
+		}
+		if prev, ok := at[[2]int{u, v}]; ok {
+			added[prev].W = e.W
+			continue
+		}
+		at[[2]int{u, v}] = len(added)
+		added = append(added, Edge{U: u, V: v, W: e.W})
+	}
+	out := edges[:0:0]
+	for i, e := range edges {
+		if !dropped[i] {
+			out = append(out, e)
+		}
+	}
+	out = append(out, added...)
+	ng, err := New(g.N, out)
+	if err != nil {
+		t.Fatalf("reference New: %v", err)
+	}
+	return ng
+}
+
+func TestApplyPatchReweightOnlySharesAdjacency(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randomConnected(t, r, 30, 20)
+	d := Delta{Set: []Edge{
+		{U: g.Edges[0].U, V: g.Edges[0].V, W: g.Edges[0].W * 2},
+		{U: g.Edges[5].V, V: g.Edges[5].U, W: 9.5}, // reversed endpoints
+	}}
+	p, err := d.ApplyPatch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Structural() {
+		t.Fatal("reweight-only delta classified structural")
+	}
+	if p.OldToNew != nil {
+		t.Fatal("non-structural patch must have nil OldToNew")
+	}
+	if &p.G.AdjStart[0] != &g.AdjStart[0] {
+		t.Error("reweight-only patch must share base adjacency")
+	}
+	if len(p.Reweighted) != 2 {
+		t.Fatalf("Reweighted = %v, want 2 entries", p.Reweighted)
+	}
+	for _, idx := range p.Reweighted {
+		if p.G.Edges[idx].U != g.Edges[idx].U || p.G.Edges[idx].V != g.Edges[idx].V {
+			t.Errorf("reweighted index %d not aligned with base", idx)
+		}
+		if p.G.Edges[idx].W == g.Edges[idx].W {
+			t.Errorf("reweighted index %d weight unchanged", idx)
+		}
+	}
+	// Base graph untouched.
+	if g.Edges[0].W == p.G.Edges[0].W {
+		t.Error("base edge list mutated")
+	}
+	// Touched = the endpoints, sorted and deduplicated.
+	want := []int{g.Edges[0].U, g.Edges[0].V, g.Edges[5].U, g.Edges[5].V}
+	sort.Ints(want)
+	if len(p.Touched) > len(want) {
+		t.Errorf("Touched = %v has duplicates or extras (want subset of %v)", p.Touched, want)
+	}
+}
+
+func TestApplyPatchNoOpReweightSkipped(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1, 2}, {1, 2, 3}})
+	d := Delta{Set: []Edge{{U: 0, V: 1, W: 2}}} // identical weight
+	p, err := d.ApplyPatch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Reweighted) != 0 || len(p.Touched) != 0 {
+		t.Errorf("no-op reweight recorded: reweighted=%v touched=%v", p.Reweighted, p.Touched)
+	}
+}
+
+func TestApplyPatchStructural(t *testing.T) {
+	g := MustNew(5, []Edge{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 4, 4}, {0, 4, 5}})
+	d := Delta{
+		Set:    []Edge{{U: 1, V: 3, W: 7}, {U: 1, V: 2, W: 2.5}},
+		Remove: [][2]int{{2, 3}},
+	}
+	p, err := d.ApplyPatch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Structural() {
+		t.Fatal("delta with add+remove not classified structural")
+	}
+	if len(p.OldToNew) != 5 {
+		t.Fatalf("OldToNew = %v", p.OldToNew)
+	}
+	// Edge 2 (2,3) removed; survivors keep relative order.
+	wantMap := []int{0, 1, -1, 2, 3}
+	for i, w := range wantMap {
+		if p.OldToNew[i] != w {
+			t.Errorf("OldToNew[%d] = %d, want %d", i, p.OldToNew[i], w)
+		}
+	}
+	if len(p.Removed) != 1 || p.Removed[0] != (Edge{2, 3, 3}) {
+		t.Errorf("Removed = %v", p.Removed)
+	}
+	if len(p.Added) != 1 || p.G.Edges[p.Added[0]] != (Edge{1, 3, 7}) {
+		t.Errorf("Added = %v (edge %v)", p.Added, p.G.Edges[p.Added[0]])
+	}
+	if len(p.Reweighted) != 1 || p.G.Edges[p.Reweighted[0]] != (Edge{1, 2, 2.5}) {
+		t.Errorf("Reweighted = %v", p.Reweighted)
+	}
+	// The mapped reweighted index must point at the same endpoints.
+	if p.G.M() != 5 {
+		t.Errorf("M = %d, want 5", p.G.M())
+	}
+}
+
+func TestApplyPatchResurrect(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1, 1}, {1, 2, 2}, {0, 2, 3}})
+	d := Delta{
+		Remove: [][2]int{{0, 1}},
+		Set:    []Edge{{U: 0, V: 1, W: 9}}, // resurrect with new weight
+	}
+	p, err := d.ApplyPatch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustNew(3, []Edge{{0, 1, 9}, {1, 2, 2}, {0, 2, 3}})
+	sameEdges(t, p.G, want, "resurrect")
+	if len(p.Removed) != 1 || len(p.Added) != 1 {
+		t.Errorf("resurrect must classify as remove+add: %v / %v", p.Removed, p.Added)
+	}
+}
+
+func TestApplyPatchErrors(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1, 1}, {1, 2, 2}})
+	cases := []Delta{
+		{Remove: [][2]int{{0, 2}}},         // absent edge
+		{Remove: [][2]int{{0, 1}, {1, 0}}}, // double remove
+		{Set: []Edge{{U: 0, V: 0, W: 1}}},  // self loop
+		{Set: []Edge{{U: 0, V: 5, W: 1}}},  // out of range
+		{Set: []Edge{{U: 0, V: 1, W: -1}}}, // bad weight
+		{Remove: [][2]int{{-1, 1}}},        // out of range remove
+	}
+	for i, d := range cases {
+		if _, err := d.ApplyPatch(g); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+		if _, err := d.Apply(g); err == nil {
+			t.Errorf("case %d: Apply expected error", i)
+		}
+	}
+}

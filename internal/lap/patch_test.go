@@ -1,0 +1,204 @@
+package lap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomGraph(t *testing.T, r *rand.Rand, n, extra int) *graph.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: i - 1, V: i, W: 1 + r.Float64()})
+	}
+	for k := 0; k < extra; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: 1 + r.Float64()})
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPatchMatchesCold drives random deltas through
+// graph.Delta.ApplyPatch and lap.Patch and asserts the patched
+// Laplacian matches the cold-assembled Laplacian of the new graph:
+// off-diagonals bit for bit, diagonals to within summation-order
+// rounding — the property the streaming pencil path relies on.
+
+// wantClose asserts exact equality off the diagonal (single writes) and
+// ≤2-ULP agreement on the diagonal, where cold assembly's unstable
+// per-column sort reorders the summation.
+func wantClose(t *testing.T, label string, i, j int, got, want float64) {
+	t.Helper()
+	if i != j {
+		if got != want {
+			t.Fatalf("%s: entry (%d,%d): patched %v, cold %v", label, i, j, got, want)
+		}
+		return
+	}
+	diff := math.Abs(got - want)
+	if diff > 4*math.Abs(want)*2.3e-16 {
+		t.Fatalf("%s: diag (%d,%d): patched %v, cold %v (diff %g)", label, i, j, got, want, diff)
+	}
+}
+
+func TestPatchMatchesCold(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(t, r, 30, 25)
+		shift := Shift(g, 0)
+		base := Laplacian(g, shift)
+
+		var d graph.Delta
+		seen := make(map[int]bool)
+		for k := 0; k < 4; k++ {
+			idx := r.Intn(g.M())
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			e := g.Edges[idx]
+			if r.Float64() < 0.3 {
+				d.Remove = append(d.Remove, [2]int{e.U, e.V})
+			} else {
+				d.Set = append(d.Set, graph.Edge{U: e.U, V: e.V, W: e.W * (0.5 + r.Float64())})
+			}
+		}
+		for k := 0; k < 2; k++ {
+			u, v := r.Intn(g.N), r.Intn(g.N)
+			if u != v {
+				d.Set = append(d.Set, graph.Edge{U: u, V: v, W: 1 + r.Float64()})
+			}
+		}
+
+		p, err := d.ApplyPatch(g)
+		if err != nil {
+			t.Fatalf("trial %d: ApplyPatch: %v", trial, err)
+		}
+		patched, zeroDelta, err := Patch(base, p.G, shift, Script{
+			Reweighted: p.Reweighted,
+			Added:      p.Added,
+			Removed:    p.Removed,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: Patch: %v", trial, err)
+		}
+		cold := Laplacian(p.G, shift)
+		for j := 0; j < g.N; j++ {
+			for i := 0; i < g.N; i++ {
+				wantClose(t, fmt.Sprintf("trial %d", trial), i, j, patched.At(i, j), cold.At(i, j))
+			}
+		}
+		if zeroDelta < 0 {
+			t.Fatalf("trial %d: negative zeroDelta %d without prior stored zeros", trial, zeroDelta)
+		}
+		// Base must be untouched.
+		recold := Laplacian(g, shift)
+		for j := 0; j < g.N; j++ {
+			for i := 0; i < g.N; i++ {
+				if base.At(i, j) != recold.At(i, j) {
+					t.Fatalf("trial %d: base mutated at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestPatchChained applies a chain of deltas, patching the Laplacian at
+// every step, and checks both bit-compatibility and the stored-zero
+// bookkeeping across the chain — including slot reuse when a removed
+// edge comes back.
+func TestPatchChained(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomGraph(t, r, 25, 20)
+	shift := Shift(g, 0)
+	mat := Laplacian(g, shift)
+	zeros := 0
+	for step := 0; step < 12; step++ {
+		var d graph.Delta
+		e := g.Edges[r.Intn(g.M())]
+		switch step % 3 {
+		case 0:
+			d.Set = []graph.Edge{{U: e.U, V: e.V, W: e.W * 1.5}}
+		case 1:
+			d.Remove = [][2]int{{e.U, e.V}}
+		default:
+			// Re-add something near a removed slot plus a fresh chord.
+			d.Set = []graph.Edge{
+				{U: e.U, V: e.V, W: e.W * 2},
+				{U: r.Intn(g.N/2) + 1, V: 0, W: 1 + r.Float64()},
+			}
+		}
+		p, err := d.ApplyPatch(g)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		patched, dz, err := Patch(mat, p.G, shift, Script{
+			Reweighted: p.Reweighted,
+			Added:      p.Added,
+			Removed:    p.Removed,
+		})
+		if err != nil {
+			t.Fatalf("step %d: Patch: %v", step, err)
+		}
+		zeros += dz
+		if zeros < 0 {
+			t.Fatalf("step %d: zero-slot count went negative (%d)", step, zeros)
+		}
+		cold := Laplacian(p.G, shift)
+		for j := 0; j < g.N; j++ {
+			for i := 0; i < g.N; i++ {
+				wantClose(t, fmt.Sprintf("step %d", step), i, j, patched.At(i, j), cold.At(i, j))
+			}
+		}
+		// Cross-check the bookkeeping against an actual count.
+		actual := 0
+		for j := 0; j < patched.Cols; j++ {
+			for k := patched.ColPtr[j]; k < patched.ColPtr[j+1]; k++ {
+				if patched.Val[k] == 0 && patched.RowIdx[k] != j {
+					actual++
+				}
+			}
+		}
+		if actual != zeros {
+			t.Fatalf("step %d: stored zeros %d, bookkeeping says %d", step, actual, zeros)
+		}
+		// Compaction must preserve every value and drop the dead slots.
+		compact := patched.DropZeros()
+		if compact.NNZ() != patched.NNZ()-zeros {
+			t.Fatalf("step %d: DropZeros kept %d, want %d", step, compact.NNZ(), patched.NNZ()-zeros)
+		}
+		for j := 0; j < g.N; j++ {
+			for i := 0; i < g.N; i++ {
+				if compact.At(i, j) != patched.At(i, j) {
+					t.Fatalf("step %d: DropZeros changed (%d,%d)", step, i, j)
+				}
+			}
+		}
+		g = p.G
+		mat = patched
+	}
+}
+
+// TestPatchMissingSlot checks the structured failure mode: a script that
+// references an entry outside the base pattern must error, not corrupt.
+func TestPatchMissingSlot(t *testing.T) {
+	g, _ := graph.New(4, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}})
+	shift := Shift(g, 0)
+	base := Laplacian(g, shift)
+	// Pretend edge (0,3) was removed — it never existed in base.
+	_, _, err := Patch(base, g, shift, Script{Removed: []graph.Edge{{U: 0, V: 3, W: 1}}})
+	if err == nil {
+		t.Fatal("expected error for slot outside base pattern")
+	}
+}

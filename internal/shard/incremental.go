@@ -52,6 +52,67 @@ func PlanFromAssign(g *graph.Graph, assign []int) (*Plan, error) {
 	return p, nil
 }
 
+// PlanFromAssignReweight is the lazy counterpart of PlanFromAssign for
+// reweight-only deltas: edge weights cannot change connectivity, so the
+// per-cluster component re-check is provably the identity and is
+// skipped, and local subgraphs are extracted only for clusters holding
+// a dirty vertex — clean clusters carry just their vertex list and edge
+// count (Cluster.LocalEdges), which is everything the index-adoption
+// path reads. This turns the per-update plan cost from O(n + m) graph
+// extraction into one counting pass.
+//
+// The caller owns the reweight-only guarantee (shard has no delta to
+// check it against); a structural delta must go through PlanFromAssign.
+func PlanFromAssignReweight(g *graph.Graph, assign, dirtyVertices []int) (*Plan, error) {
+	if g == nil || g.N < 1 {
+		return nil, fmt.Errorf("shard: nil or empty graph")
+	}
+	if len(assign) != g.N {
+		return nil, fmt.Errorf("shard: assignment covers %d vertices, graph has %d", len(assign), g.N)
+	}
+	maxID := -1
+	for v, id := range assign {
+		if id < 0 {
+			return nil, fmt.Errorf("shard: vertex %d has negative cluster id %d", v, id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	start := time.Now()
+	p := &Plan{K: maxID + 1, Planned: maxID + 1, Assign: append([]int(nil), assign...)}
+	vertsOf := make([][]int, p.K)
+	for v, id := range p.Assign {
+		vertsOf[id] = append(vertsOf[id], v)
+	}
+	counts := make([]int, p.K)
+	for e := range g.Edges {
+		ed := &g.Edges[e]
+		if cu := p.Assign[ed.U]; cu == p.Assign[ed.V] {
+			counts[cu]++
+		} else {
+			p.CutEdges = append(p.CutEdges, e)
+		}
+	}
+	dirty := make([]bool, p.K)
+	for _, v := range dirtyVertices {
+		if v >= 0 && v < len(p.Assign) {
+			dirty[p.Assign[v]] = true
+		}
+	}
+	pl := newPlanner(g, Options{}, p, 1)
+	p.Clusters = make([]Cluster, p.K)
+	for i, verts := range vertsOf {
+		c := Cluster{Vertices: verts, EdgeCount: counts[i]}
+		if dirty[i] {
+			c.Local, c.GlobalEdge = pl.induced(verts)
+		}
+		p.Clusters[i] = c
+	}
+	p.PlanTime = time.Since(start)
+	return p, nil
+}
+
 // SparsifyIncremental is the delta-rebuild counterpart of Sparsify: it
 // reuses a retained plan assignment instead of replanning, so clusters a
 // delta did not touch keep their fingerprints and hit Options.Cache —
@@ -69,7 +130,7 @@ func PlanFromAssign(g *graph.Graph, assign []int) (*Plan, error) {
 // The result's ShardStats carries Incremental plus the ClustersReused
 // count, so callers can report how much of the rebuild was avoided.
 func SparsifyIncremental(ctx context.Context, g *graph.Graph, assign []int, opts Options) (*sparsify.Result, error) {
-	plan, err := PlanFromAssign(g, assign)
+	plan, err := planForIncremental(g, assign, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +142,7 @@ func SparsifyIncremental(ctx context.Context, g *graph.Graph, assign []int, opts
 	if rf > 0 && plan.K > 1 {
 		fair := float64(g.M()) / float64(plan.K)
 		for ci := range plan.Clusters {
-			m := float64(plan.Clusters[ci].Local.M())
+			m := float64(plan.Clusters[ci].LocalEdges())
 			grown := m > rf*fair
 			// The fair-share bound alone cannot trip when K ≤ rf (no
 			// cluster can hold more than K× the average), so also compare
@@ -95,7 +156,10 @@ func SparsifyIncremental(ctx context.Context, g *graph.Graph, assign []int, opts
 				// Fresh plan, full build: deliberately NOT marked
 				// Incremental — callers and operators read that flag as
 				// "a prior plan was reused", and a rebalance replan pays
-				// cold-build cost.
+				// cold-build cost. The localized-stitch state is tied to
+				// the retained plan being abandoned here; a fresh plan's
+				// cut set has no base decisions to adopt.
+				opts.Localize = nil
 				return Sparsify(ctx, g, opts)
 			}
 		}
@@ -134,4 +198,38 @@ func SparsifyIncremental(ctx context.Context, g *graph.Graph, assign []int, opts
 	}
 	res.Shards.Incremental = true
 	return res, nil
+}
+
+// planForIncremental picks the plan reconstruction: the lazy
+// reweight-only variant when the localize handoff proves index adoption
+// will engage in Run (so clean clusters' local subgraphs are provably
+// never read), the full PlanFromAssign otherwise. The conditions mirror
+// Run's own gating (Localize.adoptByIndex plus the ER carve-out)
+// exactly — if any of them fails, Run would route clean clusters
+// through fingerprinting, which needs materialized local graphs.
+func planForIncremental(g *graph.Graph, assign []int, opts Options) (*Plan, error) {
+	loc := opts.Localize
+	if loc != nil && loc.IndexAligned && loc.BaseSub != nil &&
+		len(loc.BaseEdgeIdx) > 0 && opts.Sparsify.Method != sparsify.ER {
+		aligned := true
+		for _, ei := range loc.BaseEdgeIdx {
+			if ei < 0 || ei >= g.M() {
+				aligned = false
+				break
+			}
+		}
+		if aligned {
+			p, err := PlanFromAssignReweight(g, assign, loc.DirtyVertices)
+			if err != nil {
+				return nil, err
+			}
+			if len(loc.BaseKeys) == p.K {
+				return p, nil
+			}
+			// Key misalignment: adoption will not engage, so the lazy
+			// plan's unmaterialized clean clusters would be read. Rebuild
+			// fully instead.
+		}
+	}
+	return PlanFromAssign(g, assign)
 }

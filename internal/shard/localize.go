@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/dsu"
+	"repro/internal/graph"
+	"repro/internal/sparsify"
+)
+
+// Localize carries the base build's state into a delta rebuild so Run
+// can restrict work to the dirty neighborhood. Without it the stitch is
+// O(cut): every cut edge is re-sorted into a fresh spanning forest and
+// the recovery round factorizes the full stitched subgraph — the
+// dominant cost of a small delta once clusters hit the cache. With it,
+// clean-clean cut edges adopt the base build's stitch decision verbatim
+// and only cut edges incident to dirty clusters are re-decided, with
+// the recovery round confined to the dirty region
+// (sparsify.RecoverOffSubgraphRegion).
+type Localize struct {
+	// DirtyVertices lists every vertex incident to a delta-modified edge
+	// (graph.Patch.Touched). A cluster containing one is dirty; all
+	// others are clean and their base state is adopted.
+	DirtyVertices []int
+	// BaseSub reports whether the undirected edge (u, v) was in the base
+	// sparsifier — the stitch decision to adopt on clean-clean cut
+	// edges. Must be non-nil; membership by endpoints keeps the contract
+	// valid across cluster-id shifts (a structural delta can split dirty
+	// clusters, renumbering everything after them).
+	BaseSub func(u, v int) bool
+
+	// IndexAligned, set by the caller only for non-structural
+	// (reweight-only) deltas, promises that BaseEdgeIdx holds valid
+	// indices into the NEW graph identifying the base sparsifier's
+	// edges (the core path resolves the base edges by endpoints once,
+	// so the promise is robust to edge-order differences between the
+	// graph the base was built from and the patched graph) and that
+	// BaseKeys (the base ClusterKeys, aligned with cluster ids, which a
+	// non-structural delta provably preserves) are current. Then clean
+	// clusters adopt their sparsifier edges by index — no fingerprint
+	// hashing, no cache lookup, no per-edge EdgeBetween resolution in
+	// the worker loop.
+	IndexAligned bool
+	BaseEdgeIdx  []int
+	BaseKeys     []string
+}
+
+// dirtyClusters maps DirtyVertices through the plan's assignment.
+func (loc *Localize) dirtyClusters(plan *Plan) []bool {
+	dirty := make([]bool, plan.K)
+	for _, v := range loc.DirtyVertices {
+		if v >= 0 && v < len(plan.Assign) {
+			dirty[plan.Assign[v]] = true
+		}
+	}
+	return dirty
+}
+
+// adoptByIndex precomputes, per clean cluster, the base sparsifier edges
+// to adopt verbatim (intra-cluster edges only; cut edges are the
+// stitch's business). Returns nil — disabling index adoption, not the
+// localized stitch — when the promised alignment does not hold.
+func (loc *Localize) adoptByIndex(g *graph.Graph, plan *Plan, dirty []bool) [][]int {
+	if !loc.IndexAligned || len(loc.BaseKeys) != plan.K || len(loc.BaseEdgeIdx) == 0 {
+		return nil
+	}
+	adopt := make([][]int, plan.K)
+	for _, ei := range loc.BaseEdgeIdx {
+		if ei < 0 || ei >= g.M() {
+			return nil
+		}
+		ed := g.Edges[ei]
+		cu, cv := plan.Assign[ed.U], plan.Assign[ed.V]
+		if cu == cv && !dirty[cu] {
+			adopt[cu] = append(adopt[cu], ei)
+		}
+	}
+	return adopt
+}
+
+// sortCutByWeight orders cut-edge indices by descending weight with the
+// index tie-break — the forest preference shared with the full stitch.
+func sortCutByWeight(g *graph.Graph, cut []int) {
+	sort.Slice(cut, func(a, b int) bool {
+		if g.Edges[cut[a]].W != g.Edges[cut[b]].W {
+			return g.Edges[cut[a]].W > g.Edges[cut[b]].W
+		}
+		return cut[a] < cut[b]
+	})
+}
+
+// stitchLocalized is the dirty-region stitch:
+//
+//  1. clean-clean cut edges (neither endpoint cluster dirty) adopt the
+//     base build's decision verbatim — the delta cannot have touched
+//     them, so the base forest/recovery choice is still the right one;
+//  2. cut edges incident to a dirty cluster are re-decided from
+//     scratch: max-weight forest sweep over just those edges, then a
+//     recovery round confined to the dirty region;
+//  3. a repair sweep over all cut edges restores connectivity in the
+//     rare case the delta removed a seam the base forest depended on
+//     (DSU component count tells us exactly when).
+//
+// The clean-region result is bit-compatible with a full stitch of the
+// base build by construction: membership of every clean-clean cut edge
+// equals the base sparsifier's — except for the `repaired` edges the
+// connectivity sweep admits, which the caller must treat as an escape
+// from the dirty region (a pencil patch restricted to dirty-incident
+// edges would miss them).
+func stitchLocalized(ctx context.Context, g *graph.Graph, plan *Plan, inSub []bool, dirty []bool, loc *Localize, o sparsify.Options) (retained, recovered, adopted, repaired int, err error) {
+	// Two union-find structures with different jobs. forest mirrors the
+	// full stitch exactly: a vertex-level forest built from cut edges
+	// only, so a long dirty seam keeps roughly one crossing per boundary
+	// component — the same retention density the base build got — rather
+	// than collapsing to a single bridge. conn additionally pre-unions
+	// each cluster's vertices (every cluster sparsifier is internally
+	// connected) and is consulted only for the whole-graph connectivity
+	// repair below.
+	forest := dsu.New(g.N)
+	conn := dsu.New(g.N)
+	for ci := range plan.Clusters {
+		vs := plan.Clusters[ci].Vertices
+		for i := 1; i < len(vs); i++ {
+			conn.Union(vs[0], vs[i])
+		}
+	}
+
+	dirtyCut := make([]int, 0, 64)
+	for _, e := range plan.CutEdges {
+		ed := g.Edges[e]
+		if dirty[plan.Assign[ed.U]] || dirty[plan.Assign[ed.V]] {
+			dirtyCut = append(dirtyCut, e)
+			continue
+		}
+		if loc.BaseSub(ed.U, ed.V) {
+			inSub[e] = true
+			forest.Union(ed.U, ed.V)
+			conn.Union(ed.U, ed.V)
+			adopted++
+		}
+	}
+
+	// Fresh forest sweep over the dirty cut only, against the adopted
+	// clean structure.
+	sortCutByWeight(g, dirtyCut)
+	remaining := make([]int, 0, len(dirtyCut))
+	for _, e := range dirtyCut {
+		ed := g.Edges[e]
+		if forest.Union(ed.U, ed.V) {
+			inSub[e] = true
+			conn.Union(ed.U, ed.V)
+			retained++
+		} else {
+			remaining = append(remaining, e)
+		}
+	}
+
+	// Connectivity repair: the adopted clean structure plus the fresh
+	// dirty forest can leave the cluster quotient disconnected when the
+	// delta removed an edge the base stitch leaned on and the replacement
+	// seam is clean-clean (so neither sweep above considered it). The
+	// input graph is connected (checked upstream), so a weight-ordered
+	// sweep over all cut edges closes every gap. This is the one case
+	// where a clean-clean cut edge can enter without base membership —
+	// connectivity outranks bit-compatibility.
+	if conn.Count() > 1 {
+		all := append([]int(nil), plan.CutEdges...)
+		sortCutByWeight(g, all)
+		for _, e := range all {
+			ed := g.Edges[e]
+			if conn.Union(ed.U, ed.V) && !inSub[e] {
+				inSub[e] = true
+				retained++
+				repaired++
+			}
+		}
+	}
+
+	// Recovery round over the remaining dirty cut edges, budgeted like
+	// the full stitch but against the dirty pool: the clean boundary
+	// already received its α share at base-build time.
+	alpha := o.Alpha
+	if alpha <= 0 {
+		alpha = 0.10
+	}
+	quota := int(alpha * float64(len(dirtyCut)))
+	dirtyCount := 0
+	for _, isDirty := range dirty {
+		if isDirty {
+			dirtyCount++
+		}
+	}
+	if quota < dirtyCount {
+		quota = dirtyCount
+	}
+	if quota < 1 {
+		quota = 1
+	}
+	if len(remaining) <= quota {
+		for _, e := range remaining {
+			inSub[e] = true
+		}
+		recovered = len(remaining)
+		return retained, recovered, adopted, repaired, nil
+	}
+
+	// Region = dirty clusters' vertices plus the clean endpoints of
+	// dirty cut edges, so every candidate has both endpoints inside.
+	inRegion := make([]bool, g.N)
+	var region []int
+	for ci, isDirty := range dirty {
+		if !isDirty {
+			continue
+		}
+		for _, v := range plan.Clusters[ci].Vertices {
+			inRegion[v] = true
+			region = append(region, v)
+		}
+	}
+	for _, e := range dirtyCut {
+		for _, v := range [2]int{g.Edges[e].U, g.Edges[e].V} {
+			if !inRegion[v] {
+				inRegion[v] = true
+				region = append(region, v)
+			}
+		}
+	}
+	recovered, err = sparsify.RecoverOffSubgraphRegion(ctx, g, inSub, region, remaining, quota, o)
+	return retained, recovered, adopted, repaired, err
+}

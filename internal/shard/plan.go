@@ -85,6 +85,14 @@ type Options struct {
 	// remote worker fleet). Nil builds every cluster in-process — the
 	// behaviour predating the fabric.
 	Dispatcher Dispatcher
+	// Localize, set by the incremental path for delta rebuilds, carries
+	// the base build's state so the stitch can adopt clean-region
+	// decisions verbatim and confine the forest sweep and recovery round
+	// to cut edges near dirty clusters. Nil redoes the full stitch (the
+	// behaviour predating the streaming fast path). Ignored by ER builds
+	// (their importance reweights are not adoptable by membership alone)
+	// and dropped by the guards that abandon the retained plan.
+	Localize *Localize
 	// Sparsify configures the per-cluster construction and the global
 	// recovery round (zero value = the paper's parameters). Workers also
 	// bounds the cluster-level pool.
@@ -147,11 +155,26 @@ func (o Options) resolveShards(n, workers int) int {
 
 // Cluster is one planned partition cell: its global vertex set and the
 // induced local subgraph (local vertex i is global Vertices[i]; local
-// edge j is global edge GlobalEdge[j]).
+// edge j is global edge GlobalEdge[j]). On a lazily materialized plan
+// (PlanFromAssignReweight) clean clusters carry only the vertex list
+// and the edge count — Local and GlobalEdge stay nil, since the
+// index-adoption path never reads them.
 type Cluster struct {
 	Vertices   []int
 	Local      *graph.Graph
 	GlobalEdge []int
+	// EdgeCount mirrors Local.M() for clusters whose local subgraph was
+	// not materialized; read it through LocalEdges.
+	EdgeCount int
+}
+
+// LocalEdges returns the cluster's intra-cluster edge count whether or
+// not the local subgraph was materialized.
+func (c *Cluster) LocalEdges() int {
+	if c.Local != nil {
+		return c.Local.M()
+	}
+	return c.EdgeCount
 }
 
 // Plan is a K-way partition of a graph: per-vertex cluster assignment,

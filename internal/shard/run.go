@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -113,6 +112,22 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 		reweight = make([]float64, g.M())
 	}
 
+	// Localized delta rebuild: map the delta's touched vertices onto
+	// dirty clusters, and (for index-aligned reweight-only deltas)
+	// precompute each clean cluster's verbatim adoption list — those
+	// clusters then skip fingerprinting, cache lookups, and endpoint
+	// resolution entirely.
+	loc := opts.Localize
+	if erMode || (loc != nil && loc.BaseSub == nil) {
+		loc = nil
+	}
+	var dirtyCluster []bool
+	var adoptIdx [][]int
+	if loc != nil {
+		dirtyCluster = loc.dirtyClusters(plan)
+		adoptIdx = loc.adoptByIndex(g, plan, dirtyCluster)
+	}
+
 	// Each worker owns the clusters it pulls; the per-cluster option set
 	// pins Workers to 1 so parallelism lives at the cluster level only
 	// (nested scoring pools would oversubscribe and thrash scratch space).
@@ -127,6 +142,24 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 			defer wg.Done()
 			for ci := range next {
 				cl := &plan.Clusters[ci]
+				if adoptIdx != nil && !dirtyCluster[ci] {
+					// Index-aligned adoption: the delta was reweight-only
+					// and this cluster is clean, so its local edges,
+					// seed, and fingerprint are provably unchanged — keep
+					// the base key and mark the base sparsifier edges by
+					// index, no hashing or resolution.
+					keys[ci] = loc.BaseKeys[ci]
+					for _, ge := range adoptIdx[ci] {
+						inSub[ge] = true
+					}
+					perShard[ci] = sparsify.ShardBuild{
+						Vertices:        len(cl.Vertices),
+						Edges:           cl.LocalEdges(),
+						SparsifierEdges: len(adoptIdx[ci]),
+						Reused:          true,
+					}
+					continue
+				}
 				seed := clusterSeed(o.Seed, ci)
 				keys[ci] = ClusterKey(cl, seed, o)
 				if opts.Cache != nil && !erMode {
@@ -214,55 +247,66 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 	// sparsifier is internally connected, so the stitched subgraph is
 	// connected.
 	stitchStart := time.Now()
-	cut := append([]int(nil), plan.CutEdges...)
-	sort.Slice(cut, func(a, b int) bool {
-		if g.Edges[cut[a]].W != g.Edges[cut[b]].W {
-			return g.Edges[cut[a]].W > g.Edges[cut[b]].W
-		}
-		return cut[a] < cut[b] // deterministic tie-break
-	})
-	d := dsu.New(g.N)
-	retained := 0
-	remaining := make([]int, 0, len(cut))
-	for _, e := range cut {
-		ed := g.Edges[e]
-		if d.Union(ed.U, ed.V) {
-			inSub[e] = true
-			retained++
-		} else {
-			remaining = append(remaining, e)
-		}
-	}
-
-	// Global recovery round over the remaining cut edges. The quota keeps
-	// the stitched size comparable to a monolithic build: the per-cluster
-	// runs already spent ≈ α·Σn_c = α·N, so the boundary gets the same
-	// α fraction of its own candidate pool (at least one edge per planned
-	// bridge, so thin cuts still get reinforced).
-	alpha := o.Alpha
-	if alpha <= 0 {
-		alpha = 0.10
-	}
-	quota := int(alpha * float64(len(plan.CutEdges)))
-	if quota < plan.K {
-		quota = plan.K
-	}
-	var recovered int
-	if len(remaining) <= quota {
-		// Selection only matters when the candidate pool exceeds the
-		// budget; factorizing the whole stitched subgraph to rank a pool
-		// that fits the quota anyway would be the single most expensive
-		// no-op in the pipeline (grid-like graphs land here: the cut
-		// forest already retained almost every seam edge).
-		for _, e := range remaining {
-			inSub[e] = true
-		}
-		recovered = len(remaining)
-	} else {
+	var retained, recovered, adopted, repaired, dirtyCount int
+	if loc != nil {
+		// Localized stitch: clean-clean cut edges adopt the base
+		// decision, only the dirty neighborhood is re-decided, and the
+		// recovery round factorizes the dirty region instead of the
+		// whole stitched subgraph (see localize.go).
 		var err error
-		recovered, err = sparsify.RecoverOffSubgraph(ctx, g, inSub, remaining, quota, o)
+		retained, recovered, adopted, repaired, err = stitchLocalized(ctx, g, plan, inSub, dirtyCluster, loc, o)
 		if err != nil {
 			return nil, err
+		}
+		for _, isDirty := range dirtyCluster {
+			if isDirty {
+				dirtyCount++
+			}
+		}
+	} else {
+		cut := append([]int(nil), plan.CutEdges...)
+		sortCutByWeight(g, cut)
+		d := dsu.New(g.N)
+		remaining := make([]int, 0, len(cut))
+		for _, e := range cut {
+			ed := g.Edges[e]
+			if d.Union(ed.U, ed.V) {
+				inSub[e] = true
+				retained++
+			} else {
+				remaining = append(remaining, e)
+			}
+		}
+
+		// Global recovery round over the remaining cut edges. The quota keeps
+		// the stitched size comparable to a monolithic build: the per-cluster
+		// runs already spent ≈ α·Σn_c = α·N, so the boundary gets the same
+		// α fraction of its own candidate pool (at least one edge per planned
+		// bridge, so thin cuts still get reinforced).
+		alpha := o.Alpha
+		if alpha <= 0 {
+			alpha = 0.10
+		}
+		quota := int(alpha * float64(len(plan.CutEdges)))
+		if quota < plan.K {
+			quota = plan.K
+		}
+		if len(remaining) <= quota {
+			// Selection only matters when the candidate pool exceeds the
+			// budget; factorizing the whole stitched subgraph to rank a pool
+			// that fits the quota anyway would be the single most expensive
+			// no-op in the pipeline (grid-like graphs land here: the cut
+			// forest already retained almost every seam edge).
+			for _, e := range remaining {
+				inSub[e] = true
+			}
+			recovered = len(remaining)
+		} else {
+			var err error
+			recovered, err = sparsify.RecoverOffSubgraph(ctx, g, inSub, remaining, quota, o)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	stitchTime := time.Since(stitchStart)
@@ -271,20 +315,24 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 		InSub: inSub,
 		Shift: lap.Shift(g, o.ShiftRel),
 		Shards: &sparsify.ShardStats{
-			Shards:         plan.K,
-			FallbackSplits: plan.FallbackSplits,
-			CutEdges:       len(plan.CutEdges),
-			CutFraction:    cutFractionOf(g, plan),
-			CutRetained:    retained,
-			CutRecovered:   recovered,
-			ClustersReused: reused,
-			ClustersRemote: remote,
-			PlanTime:       plan.PlanTime,
-			BuildTime:      buildTime,
-			StitchTime:     stitchTime,
-			Assign:         plan.Assign,
-			ClusterKeys:    keys,
-			PerShard:       perShard,
+			Shards:          plan.K,
+			FallbackSplits:  plan.FallbackSplits,
+			CutEdges:        len(plan.CutEdges),
+			CutFraction:     cutFractionOf(g, plan),
+			CutRetained:     retained,
+			CutRecovered:    recovered,
+			ClustersReused:  reused,
+			ClustersRemote:  remote,
+			StitchLocalized: loc != nil,
+			CutAdopted:      adopted,
+			CutRepaired:     repaired,
+			DirtyClusters:   dirtyCount,
+			PlanTime:        plan.PlanTime,
+			BuildTime:       buildTime,
+			StitchTime:      stitchTime,
+			Assign:          plan.Assign,
+			ClusterKeys:     keys,
+			PerShard:        perShard,
 		},
 	}
 	res.Reweight = reweight

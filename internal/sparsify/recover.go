@@ -64,6 +64,19 @@ type ShardStats struct {
 	// (cold builds can also reuse when the cluster cache is shared).
 	Incremental    bool
 	ClustersReused int
+	// StitchLocalized reports the stitch ran in localized mode: the
+	// cut-edge forest and recovery round were restricted to cut edges
+	// incident to dirty clusters, with the base build's stitch decisions
+	// adopted verbatim on clean-clean cut edges (CutAdopted of them).
+	// DirtyClusters is how many clusters the delta touched. CutRepaired
+	// counts clean-clean cut edges the connectivity-repair sweep admitted
+	// WITHOUT base membership — the one localized-stitch escape from the
+	// dirty region, so a non-zero value disables dirty-region pencil
+	// patching upstream.
+	StitchLocalized bool
+	CutAdopted      int
+	CutRepaired     int
+	DirtyClusters   int
 	// ClustersRemote counts clusters whose sparsifier came back from a
 	// remote fabric worker; the difference to Shards (minus reused and
 	// tiny clusters) ran in-process — including remote dispatches that
@@ -124,4 +137,81 @@ func RecoverOffSubgraph(ctx context.Context, g *graph.Graph, inSub []bool, cand 
 	res := &Result{InSub: inSub}
 	excl := newBallExcluder(g, nil, o.SimilarityHops)
 	return selectEdges(g, res, excl, cand, scores, quota), nil
+}
+
+// RecoverOffSubgraphRegion is RecoverOffSubgraph restricted to the
+// subgraph induced on a vertex region: the factorization, SPAI, scoring
+// balls, and similarity exclusion all see only the region's edges, so
+// the cost is O(region) instead of O(n) — the localized stitch's
+// recovery round, where the region is the dirty clusters plus the
+// endpoints of their cut edges. cand must list edges with both
+// endpoints inside region; admitted edges are marked in inSub (indexed
+// by g's edge ids) exactly as the global variant would.
+//
+// The scoring is an approximation of the global round twice over: the
+// trace-reduction scores are computed against the region's stitched
+// subgraph rather than the whole graph's, and the regularization shift
+// is derived from the region. Both effects are confined to *which*
+// dirty-region cut edges are re-admitted — clean-region decisions are
+// adopted from the base build and never revisited.
+func RecoverOffSubgraphRegion(ctx context.Context, g *graph.Graph, inSub []bool, region []int, cand []int, quota int, opts Options) (int, error) {
+	if quota <= 0 || len(cand) == 0 {
+		return 0, nil
+	}
+
+	localID := make([]int, g.N)
+	for i := range localID {
+		localID[i] = -1
+	}
+	for li, v := range region {
+		localID[v] = li
+	}
+
+	// Extract the induced subgraph, keeping the local→global edge map so
+	// admissions can be written back. Scanning each region vertex's
+	// adjacency and keeping only the (lower local id → higher) direction
+	// emits every induced edge once, already normalized for
+	// FromNormalized.
+	var edges []graph.Edge
+	var globalEdge []int
+	for li, v := range region {
+		for p := g.AdjStart[v]; p < g.AdjStart[v+1]; p++ {
+			lu := localID[g.AdjTarget[p]]
+			if lu <= li { // outside the region (-1) or already emitted
+				continue
+			}
+			e := g.AdjEdge[p]
+			edges = append(edges, graph.Edge{U: li, V: lu, W: g.Edges[e].W})
+			globalEdge = append(globalEdge, e)
+		}
+	}
+	lg := graph.FromNormalized(len(region), edges)
+
+	localInSub := make([]bool, len(edges))
+	localOf := make(map[int]int, len(edges))
+	for j, ge := range globalEdge {
+		localInSub[j] = inSub[ge]
+		localOf[ge] = j
+	}
+	localCand := make([]int, len(cand))
+	for k, ge := range cand {
+		lc, ok := localOf[ge]
+		if !ok {
+			return 0, fmt.Errorf("sparsify: region recovery candidate %d has an endpoint outside the region", ge)
+		}
+		localCand[k] = lc
+	}
+
+	n, err := RecoverOffSubgraph(ctx, lg, localInSub, localCand, quota, opts)
+	if err != nil {
+		return 0, err
+	}
+	// Candidates are off-subgraph by contract, so a set localInSub slot
+	// means the round admitted that edge.
+	for k, lc := range localCand {
+		if localInSub[lc] {
+			inSub[cand[k]] = true
+		}
+	}
+	return n, nil
 }

@@ -1,0 +1,126 @@
+package tdigest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) float64{
+		"uniform": func(r *rand.Rand) float64 { return r.Float64() },
+		"normal":  func(r *rand.Rand) float64 { return r.NormFloat64() },
+		// Latency-shaped: lognormal bulk with a heavy tail — the case
+		// fixed buckets get wrong.
+		"lognormal": func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()) },
+	}
+	for name, gen := range distributions {
+		r := rand.New(rand.NewSource(42))
+		td := New(100)
+		xs := make([]float64, 0, 50000)
+		for i := 0; i < 50000; i++ {
+			x := gen(r)
+			td.Add(x)
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+			got := td.Quantile(q)
+			want := exactQuantile(xs, q)
+			// Error bound stated in rank space: the estimate's rank in
+			// the sorted sample must be within 1% of mass of q·n.
+			rank := sort.SearchFloat64s(xs, got)
+			rankErr := math.Abs(float64(rank)/float64(len(xs)) - q)
+			if rankErr > 0.01 {
+				t.Errorf("%s q=%g: got %g (want ~%g), rank error %.4f > 0.01",
+					name, q, got, want, rankErr)
+			}
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	td := New(100)
+	for i := 0; i < 10000; i++ {
+		td.Add(math.Exp(r.NormFloat64() * 2))
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := td.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	td := New(100)
+	if got := td.Quantile(0.5); got != 0 {
+		t.Errorf("empty digest: got %g, want 0", got)
+	}
+	if td.Count() != 0 {
+		t.Errorf("empty digest count: got %d", td.Count())
+	}
+
+	td.Add(3.5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := td.Quantile(q); got != 3.5 {
+			t.Errorf("single point q=%g: got %g, want 3.5", q, got)
+		}
+	}
+	if td.Count() != 1 {
+		t.Errorf("count after one add: got %d", td.Count())
+	}
+
+	td.Add(math.NaN())
+	td.Add(math.Inf(1))
+	if td.Count() != 1 {
+		t.Errorf("NaN/Inf must be ignored: count %d", td.Count())
+	}
+
+	td.Reset()
+	if td.Count() != 0 || td.Quantile(0.5) != 0 {
+		t.Errorf("reset did not empty the digest")
+	}
+}
+
+func TestExtremesExact(t *testing.T) {
+	td := New(50)
+	for i := 1; i <= 100000; i++ {
+		td.Add(float64(i))
+	}
+	if got := td.Quantile(0); got != 1 {
+		t.Errorf("q=0: got %g, want 1", got)
+	}
+	if got := td.Quantile(1); got != 100000 {
+		t.Errorf("q=1: got %g, want 100000", got)
+	}
+}
+
+func TestBoundedMemory(t *testing.T) {
+	td := New(100)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500000; i++ {
+		td.Add(r.Float64())
+	}
+	td.flush()
+	if n := len(td.centroids); n > 2*100+10 {
+		t.Errorf("centroid count %d exceeds ~2×compression", n)
+	}
+}
