@@ -25,6 +25,7 @@ func newWorkerServer(w *fabric.Worker, cache *engine.ClusterStore) *workerServer
 func (s *workerServer) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v2/cluster", s.w.ServeCluster)
+	mux.HandleFunc("GET /v2/cluster/{key}", s.w.ServeClusterGet)
 	mux.HandleFunc("GET /v2/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "worker"})

@@ -1,0 +1,76 @@
+package chol
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// FromParts reassembles a Factor from its serialized components: the
+// lower-triangular factor L (diagonal first in each column, as New lays
+// it out) and the fill-reducing permutation. It is the receiving side of
+// the fabric's remote factor builds, so it validates everything a
+// malformed or corrupted payload could get wrong before the factor is
+// allowed anywhere near a solve:
+//
+//   - L must be square of dimension n with exactly n+1 column pointers,
+//     monotonically nondecreasing, and aligned row/value storage;
+//   - every column must lead with its diagonal entry, and every diagonal
+//     must be positive and finite — the SPD witness: L L^T with such an L
+//     is positive definite by construction, so a factor passing this
+//     check is a valid (if possibly wrong-valued) SPD preconditioner
+//     block, never a NaN source or a singular solve;
+//   - off-diagonal entries must be finite and strictly below the
+//     diagonal (lower triangular);
+//   - perm must be a permutation of 0..n-1.
+//
+// The inverse permutation is recomputed locally rather than trusted from
+// the wire.
+func FromParts(n int, l *sparse.CSC, perm []int) (*Factor, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chol: factor dimension %d", n)
+	}
+	if l == nil || l.Rows != n || l.Cols != n {
+		return nil, fmt.Errorf("chol: factor L is not %d×%d", n, n)
+	}
+	if len(l.ColPtr) != n+1 || l.ColPtr[0] != 0 {
+		return nil, fmt.Errorf("chol: factor L has malformed column pointers")
+	}
+	nnz := l.ColPtr[n]
+	if len(l.RowIdx) != nnz || len(l.Val) != nnz {
+		return nil, fmt.Errorf("chol: factor L storage misaligned (%d pointers vs %d/%d entries)",
+			nnz, len(l.RowIdx), len(l.Val))
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := l.ColPtr[j], l.ColPtr[j+1]
+		if hi < lo || hi > nnz {
+			return nil, fmt.Errorf("chol: factor L column %d has decreasing pointers", j)
+		}
+		if hi == lo || l.RowIdx[lo] != j {
+			return nil, fmt.Errorf("chol: factor L column %d does not lead with its diagonal", j)
+		}
+		d := l.Val[lo]
+		if !(d > 0) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("chol: factor L has nonpositive or non-finite diagonal %g at %d", d, j)
+		}
+		for p := lo + 1; p < hi; p++ {
+			i := l.RowIdx[p]
+			if i <= j || i >= n {
+				return nil, fmt.Errorf("chol: factor L entry (%d,%d) outside the strict lower triangle", i, j)
+			}
+			if math.IsInf(l.Val[p], 0) || math.IsNaN(l.Val[p]) {
+				return nil, fmt.Errorf("chol: factor L has non-finite entry at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !order.Validate(perm, n) {
+		return nil, fmt.Errorf("chol: invalid permutation (length %d for n=%d)", len(perm), n)
+	}
+	f := &Factor{N: n, L: l, Perm: perm, inv: make([]int, n)}
+	for newIdx, oldIdx := range perm {
+		f.inv[oldIdx] = newIdx
+	}
+	return f, nil
+}

@@ -8,12 +8,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chol"
+	"repro/internal/precond"
 	"repro/internal/shard"
 )
 
@@ -104,10 +108,11 @@ func (o Options) withDefaults() Options {
 type member struct {
 	url string
 
-	dispatched atomic.Int64
-	retried    atomic.Int64
-	hedged     atomic.Int64
-	failed     atomic.Int64
+	dispatched   atomic.Int64
+	retried      atomic.Int64
+	hedged       atomic.Int64
+	hedgedWasted atomic.Int64
+	failed       atomic.Int64
 
 	mu        sync.Mutex
 	consec    int
@@ -145,14 +150,39 @@ func (m *member) noteFailure(err error, failAfter int, probeAfter time.Duration)
 // to workers over HTTP/JSON with rendezvous-hashed placement on the
 // cluster fingerprint, per-attempt deadlines, bounded retries with
 // backoff, hedged dispatch for stragglers, and graceful degradation to
-// the in-process fallback. Safe for concurrent use.
+// the in-process fallback. It also implements shard.StreamDispatcher
+// (results delivered in completion order while stragglers are in flight)
+// and precond.FactorDispatcher (remote Schwarz factor builds over the
+// same wire, placement, and retry machinery). Safe for concurrent use.
 type Remote struct {
-	opts    Options
+	opts Options
+
+	memMu   sync.RWMutex
 	members []*member
 
-	remoteOK  atomic.Int64
-	fallbacks atomic.Int64
-	latency   histogram
+	// Membership epochs for the workers' peer cache fetch: every rank
+	// snapshot of the up-set is compared against the previous one, and a
+	// change bumps the epoch and retains the old up-set — the set the
+	// previous owner of a moved key is computed from.
+	epochMu sync.Mutex
+	epoch   int64
+	curUp   []string // sorted up-set of the current epoch
+	prevUp  []string // sorted up-set of the previous epoch
+
+	remoteOK      atomic.Int64
+	fallbacks     atomic.Int64
+	remoteFactors atomic.Int64
+	factorMisses  atomic.Int64
+	peerFetches   atomic.Int64
+	peerHits      atomic.Int64
+	latency       histogram
+
+	// Stream telemetry: the most recent DispatchStream's first/last
+	// result latencies, and the cumulative stitch time consumers report
+	// as hidden inside the build window (NoteOverlapSaved).
+	streamFirstNS atomic.Int64
+	streamLastNS  atomic.Int64
+	overlapNS     atomic.Int64
 }
 
 // NewRemote creates a dispatcher over the given worker base URLs
@@ -162,17 +192,50 @@ type Remote struct {
 // and off without changing call sites.
 func NewRemote(urls []string, opts Options) *Remote {
 	r := &Remote{opts: opts.withDefaults()}
+	r.members = makeMembers(urls, nil)
+	return r
+}
+
+// makeMembers normalizes worker URLs into member records, adopting an
+// existing record (with its counters and health state) when the URL
+// survives from old.
+func makeMembers(urls []string, old []*member) []*member {
+	prev := make(map[string]*member, len(old))
+	for _, m := range old {
+		prev[m.url] = m
+	}
+	var out []*member
+	seen := make(map[string]bool, len(urls))
 	for _, u := range urls {
 		u = strings.TrimRight(strings.TrimSpace(u), "/")
-		if u != "" {
-			r.members = append(r.members, &member{url: u})
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		if m, ok := prev[u]; ok {
+			out = append(out, m)
+		} else {
+			out = append(out, &member{url: u})
 		}
 	}
-	return r
+	return out
+}
+
+// SetWorkers replaces the fleet membership (join/leave events from an
+// operator or a service-discovery loop). Members whose URL survives keep
+// their counters and health state. The membership epoch bumps on the
+// next dispatch that observes the changed up-set, which is what lets
+// workers peer-fetch moved keys from their previous owner.
+func (r *Remote) SetWorkers(urls []string) {
+	r.memMu.Lock()
+	r.members = makeMembers(urls, r.members)
+	r.memMu.Unlock()
 }
 
 // Workers returns the configured worker URLs (diagnostics).
 func (r *Remote) Workers() []string {
+	r.memMu.RLock()
+	defer r.memMu.RUnlock()
 	out := make([]string, len(r.members))
 	for i, m := range r.members {
 		out[i] = m.url
@@ -186,17 +249,31 @@ func (r *Remote) Stats() *Stats {
 	s := &Stats{
 		RemoteClusters: r.remoteOK.Load(),
 		FallbackLocal:  r.fallbacks.Load(),
+		RemoteFactors:  r.remoteFactors.Load(),
+		FactorMisses:   r.factorMisses.Load(),
+		PeerFetches:    r.peerFetches.Load(),
+		PeerHits:       r.peerHits.Load(),
 	}
-	for _, m := range r.members {
+	r.epochMu.Lock()
+	s.MembershipEpoch = r.epoch
+	r.epochMu.Unlock()
+	s.StreamFirstResultMS = float64(r.streamFirstNS.Load()) / float64(time.Millisecond)
+	s.StreamLastResultMS = float64(r.streamLastNS.Load()) / float64(time.Millisecond)
+	s.StreamOverlapSavedMS = float64(r.overlapNS.Load()) / float64(time.Millisecond)
+	r.memMu.RLock()
+	members := r.members
+	r.memMu.RUnlock()
+	for _, m := range members {
 		m.mu.Lock()
 		wh := WorkerHealth{
-			URL:        m.url,
-			Up:         m.downUntil.IsZero() || !now.Before(m.downUntil),
-			Dispatched: m.dispatched.Load(),
-			Retried:    m.retried.Load(),
-			Hedged:     m.hedged.Load(),
-			Failed:     m.failed.Load(),
-			LastError:  m.lastErr,
+			URL:          m.url,
+			Up:           m.downUntil.IsZero() || !now.Before(m.downUntil),
+			Dispatched:   m.dispatched.Load(),
+			Retried:      m.retried.Load(),
+			Hedged:       m.hedged.Load(),
+			HedgedWasted: m.hedgedWasted.Load(),
+			Failed:       m.failed.Load(),
+			LastError:    m.lastErr,
 		}
 		if !m.lastErrAt.IsZero() {
 			wh.LastErrorUnixMS = m.lastErrAt.UnixMilli()
@@ -229,8 +306,11 @@ func (r *Remote) rank(key string) []*member {
 		m *member
 		s uint64
 	}
-	up := make([]scored, 0, len(r.members))
-	for _, m := range r.members {
+	r.memMu.RLock()
+	members := r.members
+	r.memMu.RUnlock()
+	up := make([]scored, 0, len(members))
+	for _, m := range members {
 		if m.up(now) {
 			up = append(up, scored{m, fnv1a64(key + "|" + m.url)})
 		}
@@ -248,6 +328,40 @@ func (r *Remote) rank(key string) []*member {
 	return out
 }
 
+// noteMembership records the up-set one dispatch observed. A changed set
+// (worker joined, left, or crossed its down threshold) rotates the
+// current set into the previous slot and bumps the epoch. Returns the
+// epoch and the previous epoch's up-set.
+func (r *Remote) noteMembership(ranked []*member) (int64, []string) {
+	up := make([]string, len(ranked))
+	for i, m := range ranked {
+		up[i] = m.url
+	}
+	sort.Strings(up)
+	r.epochMu.Lock()
+	defer r.epochMu.Unlock()
+	if !slices.Equal(up, r.curUp) {
+		r.prevUp = r.curUp
+		r.curUp = up
+		r.epoch++
+	}
+	return r.epoch, r.prevUp
+}
+
+// topOwner returns the rendezvous-first URL for key among urls ("" for
+// an empty set) — the same score and tie-break rank uses, so it names
+// exactly the worker that owned key under that membership.
+func topOwner(key string, urls []string) string {
+	best, bs := "", uint64(0)
+	for _, u := range urls {
+		s := fnv1a64(key + "|" + u)
+		if best == "" || s > bs || (s == bs && u < best) {
+			best, bs = u, s
+		}
+	}
+	return best
+}
+
 // Dispatch implements shard.Dispatcher: try the rendezvous-ranked
 // workers with deadlines, hedging, and bounded backoff retries; degrade
 // to the fallback when the fleet cannot answer.
@@ -257,7 +371,15 @@ func (r *Remote) Dispatch(ctx context.Context, req *shard.ClusterRequest) (*shar
 		r.fallbacks.Add(1)
 		return r.opts.Fallback.Dispatch(ctx, req)
 	}
-	body, err := json.Marshal(payloadOf(req))
+	p := payloadOf(req)
+	epoch, prevUp := r.noteMembership(ranked)
+	p.Epoch = epoch
+	if po := topOwner(req.Key, prevUp); po != "" && po != ranked[0].url {
+		// Ownership moved across the membership change: tell the new
+		// owner where the entry lived so it can try one peer fetch.
+		p.PrevOwner = po
+	}
+	body, err := json.Marshal(p)
 	if err != nil {
 		// A cluster payload is plain ints and floats; failing to encode
 		// one is a programming error, not a fleet problem.
@@ -283,7 +405,9 @@ func (r *Remote) Dispatch(ctx context.Context, req *shard.ClusterRequest) (*shar
 		if a > 0 {
 			primary.retried.Add(1)
 		}
-		res, err := r.attempt(ctx, primary, hedge, req, body, valid)
+		res, err := raceAttempt(r, ctx, primary, hedge, func(actx context.Context, m *member) (*shard.ClusterResult, error) {
+			return r.call(actx, m, req, body, valid)
+		})
 		if err == nil {
 			r.remoteOK.Add(1)
 			return res, nil
@@ -305,14 +429,131 @@ func (r *Remote) Dispatch(ctx context.Context, req *shard.ClusterRequest) (*shar
 	return res, nil
 }
 
-// attempt runs one bounded try against primary, hedging to hedge when
-// configured: first success wins and cancels the other request.
-func (r *Remote) attempt(ctx context.Context, primary, hedge *member, req *shard.ClusterRequest, body []byte, valid map[[2]int]bool) (*shard.ClusterResult, error) {
+// DispatchStream implements shard.StreamDispatcher: every request runs
+// through the full Dispatch machinery (placement, retries, hedging,
+// fallback) with at most limit in flight, and outcomes land on the
+// returned channel in completion order. The channel is buffered to
+// len(reqs), so producers never block on a slow consumer and a canceled
+// stream drains without leaking goroutines: cancellation makes the
+// remaining Dispatch calls return promptly with ctx.Err(), each still
+// producing its Streamed.
+func (r *Remote) DispatchStream(ctx context.Context, reqs []*shard.ClusterRequest, limit int) <-chan shard.Streamed {
+	out := make(chan shard.Streamed, len(reqs))
+	if len(reqs) == 0 {
+		close(out)
+		return out
+	}
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit > len(reqs) {
+		limit = len(reqs)
+	}
+	start := time.Now()
+	var firstOnce sync.Once
+	var pos atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < limit; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(pos.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				res, err := r.Dispatch(ctx, reqs[i])
+				firstOnce.Do(func() { r.streamFirstNS.Store(int64(time.Since(start))) })
+				out <- shard.Streamed{Req: reqs[i], Res: res, Err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		r.streamLastNS.Store(int64(time.Since(start)))
+		close(out)
+	}()
+	return out
+}
+
+// NoteOverlapSaved accumulates stitch time a streaming consumer measured
+// as overlapped with in-flight cluster builds — work the barrier path
+// would have serialized after the slowest cluster. shard.Run reports it
+// per streamed build; Stats surfaces the running total.
+func (r *Remote) NoteOverlapSaved(d time.Duration) {
+	if d > 0 {
+		r.overlapNS.Add(int64(d))
+	}
+}
+
+// DispatchFactor implements precond.FactorDispatcher: ship a cluster's
+// exact pencil block to its rendezvous-ranked worker (the one already
+// warm with the cluster's build) and validate the returned factor —
+// structure, dimensions, SPD witness — before handing it to the Schwarz
+// builder. There is no local fallback here: the builder itself falls
+// back to factorizing the block in-process on any error, so this only
+// reports why the fleet could not answer.
+func (r *Remote) DispatchFactor(ctx context.Context, req *precond.FactorRequest) (*chol.Factor, error) {
+	ranked := r.rank(req.Key)
+	if len(ranked) == 0 {
+		r.factorMisses.Add(1)
+		return nil, errors.New("fabric: no fleet workers up")
+	}
+	body, err := json.Marshal(&ClusterPayload{Key: req.Key, Factor: factorSpecOf(req.Sub)})
+	if err != nil {
+		r.factorMisses.Add(1)
+		return nil, fmt.Errorf("fabric: encoding factor payload for cluster %d: %v", req.Cluster, err)
+	}
+	var lastErr error
+	for a := 0; a <= r.opts.Retries; a++ {
+		if a > 0 {
+			d := r.opts.Backoff << (a - 1)
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				r.factorMisses.Add(1)
+				return nil, ctx.Err()
+			}
+		}
+		primary := ranked[a%len(ranked)]
+		var hedge *member
+		if h := ranked[(a+1)%len(ranked)]; h != primary {
+			hedge = h
+		}
+		if a > 0 {
+			primary.retried.Add(1)
+		}
+		f, err := raceAttempt(r, ctx, primary, hedge, func(actx context.Context, m *member) (*chol.Factor, error) {
+			return r.callFactor(actx, m, req, body)
+		})
+		if err == nil {
+			r.remoteFactors.Add(1)
+			return f, nil
+		}
+		if ctx.Err() != nil {
+			r.factorMisses.Add(1)
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	r.factorMisses.Add(1)
+	return nil, lastErr
+}
+
+// raceAttempt runs one bounded try against primary, hedging to hedge
+// when configured: first success wins and cancels the other request.
+// When the race resolves with the loser still in flight, the loser's
+// member gets a hedged_wasted mark — its work (and any late success that
+// unwinds into the buffered channel) is discarded. A canceled loser is
+// never a failure: losing a race says nothing about the worker's health.
+func raceAttempt[T any](r *Remote, ctx context.Context, primary, hedge *member, do func(ctx context.Context, m *member) (T, error)) (T, error) {
+	var zero T
 	actx, cancel := context.WithTimeout(ctx, r.opts.Timeout)
 	defer cancel()
 
 	type outcome struct {
-		res *shard.ClusterResult
+		m   *member
+		res T
 		err error
 	}
 	ch := make(chan outcome, 2)
@@ -322,19 +563,19 @@ func (r *Remote) attempt(ctx context.Context, primary, hedge *member, req *shard
 			m.hedged.Add(1)
 		}
 		start := time.Now()
-		res, err := r.call(actx, m, req, body, valid)
+		res, err := do(actx, m)
 		if err != nil {
 			// A canceled request lost the hedge race (or the caller went
 			// away) — that is not the worker's failure to note.
 			if !errors.Is(err, context.Canceled) {
 				m.noteFailure(err, r.opts.FailAfter, r.opts.ProbeAfter)
 			}
-			ch <- outcome{nil, err}
+			ch <- outcome{m, zero, err}
 			return
 		}
 		m.noteSuccess()
 		r.latency.observe(time.Since(start))
-		ch <- outcome{res, nil}
+		ch <- outcome{m, res, nil}
 	}
 
 	go call(primary, false)
@@ -351,12 +592,23 @@ func (r *Remote) attempt(ctx context.Context, primary, hedge *member, req *shard
 		case o := <-ch:
 			inflight--
 			if o.err == nil {
+				if inflight > 0 {
+					// The other request was dispatched (and counted into
+					// its member's dispatched) but its outcome — even a
+					// late success sitting in the buffered channel — is
+					// wasted work.
+					loser := hedge
+					if o.m == hedge {
+						loser = primary
+					}
+					loser.hedgedWasted.Add(1)
+				}
 				cancel() // first result wins; the loser's request dies with actx
 				return o.res, nil
 			}
 			lastErr = o.err
 			if inflight == 0 {
-				return nil, lastErr
+				return zero, lastErr
 			}
 			// The other request (hedge or primary) is still in flight;
 			// it may yet win.
@@ -367,14 +619,15 @@ func (r *Remote) attempt(ctx context.Context, primary, hedge *member, req *shard
 		case <-actx.Done():
 			// Attempt deadline or caller cancellation. In-flight calls
 			// unwind into the buffered channel; nothing leaks.
-			return nil, actx.Err()
+			return zero, actx.Err()
 		}
 	}
 }
 
-// call performs one HTTP exchange with a worker and validates the result
-// before it is allowed anywhere near the stitched sparsifier.
-func (r *Remote) call(ctx context.Context, m *member, req *shard.ClusterRequest, body []byte, valid map[[2]int]bool) (*shard.ClusterResult, error) {
+// exchange performs one POST /v2/cluster round trip with a worker and
+// decodes the response envelope; result-shape validation is the
+// caller's.
+func (r *Remote) exchange(ctx context.Context, m *member, body []byte) (*ClusterResponse, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, m.url+"/v2/cluster", bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("fabric: %s: %w", m.url, err)
@@ -395,10 +648,48 @@ func (r *Remote) call(ctx context.Context, m *member, req *shard.ClusterRequest,
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxClusterBody)).Decode(&cr); err != nil {
 		return nil, fmt.Errorf("fabric: %s: decoding result: %w", m.url, err)
 	}
-	if err := validateResult(req, &cr, valid); err != nil {
+	return &cr, nil
+}
+
+// call performs one cluster-build exchange with a worker and validates
+// the result before it is allowed anywhere near the stitched sparsifier.
+func (r *Remote) call(ctx context.Context, m *member, req *shard.ClusterRequest, body []byte, valid map[[2]int]bool) (*shard.ClusterResult, error) {
+	cr, err := r.exchange(ctx, m, body)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateResult(req, cr, valid); err != nil {
 		return nil, fmt.Errorf("fabric: %s: malformed result: %w", m.url, err)
 	}
+	switch cr.PeerFetch {
+	case "hit":
+		r.peerFetches.Add(1)
+		r.peerHits.Add(1)
+	case "miss":
+		r.peerFetches.Add(1)
+	}
 	return &shard.ClusterResult{Edges: cr.Edges, Stats: cr.Stats, Remote: true}, nil
+}
+
+// callFactor performs one factor-job exchange and validates the returned
+// factor: present, structurally sound with a positive finite diagonal
+// (chol.FromParts — the SPD witness), and of the block's exact dimension.
+func (r *Remote) callFactor(ctx context.Context, m *member, req *precond.FactorRequest, body []byte) (*chol.Factor, error) {
+	cr, err := r.exchange(ctx, m, body)
+	if err != nil {
+		return nil, err
+	}
+	if cr.Factor == nil {
+		return nil, fmt.Errorf("fabric: %s: factor job returned no factor", m.url)
+	}
+	f, err := cr.Factor.factor()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %s: malformed factor: %w", m.url, err)
+	}
+	if f.N != len(req.Idx) {
+		return nil, fmt.Errorf("fabric: %s: factor dimension %d, block has %d", m.url, f.N, len(req.Idx))
+	}
+	return f, nil
 }
 
 // validPairs builds the set of admissible global endpoint pairs for a

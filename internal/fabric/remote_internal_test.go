@@ -101,14 +101,101 @@ func TestHedgeCancelsLoser(t *testing.T) {
 	if n := primary.failed.Load(); n != 0 {
 		t.Fatalf("canceled straggler counted as %d failures, want 0", n)
 	}
+	// The loser's dispatch was wasted work and must say so: it was counted
+	// into dispatched when the request went out, and without the
+	// hedged_wasted column that late-canceled (or late-succeeding) attempt
+	// would inflate the loser's useful-work count with no offsetting
+	// signal. The winner's side stays clean.
+	if n := primary.hedgedWasted.Load(); n != 1 {
+		t.Fatalf("losing primary hedged_wasted = %d, want 1", n)
+	}
+	if n := secondary.hedgedWasted.Load(); n != 0 {
+		t.Fatalf("winning hedge hedged_wasted = %d, want 0", n)
+	}
 	st := remote.Stats()
 	for _, wh := range st.Workers {
 		if !wh.Up {
 			t.Fatalf("worker %s marked down after a hedge race: %+v", wh.URL, wh)
 		}
+		want := int64(0)
+		if wh.URL == primary.url {
+			want = 1
+		}
+		if wh.HedgedWasted != want {
+			t.Fatalf("worker %s snapshot hedged_wasted = %d, want %d", wh.URL, wh.HedgedWasted, want)
+		}
 	}
 	if st.RemoteClusters != 1 || st.FallbackLocal != 0 {
 		t.Fatalf("hedged dispatch miscounted: %+v", st)
+	}
+}
+
+// TestMembershipEpochs pins the epoch machinery the peer fetch rides on:
+// the first observed up-set is epoch 1, an unchanged set never bumps,
+// a change rotates the old set into the previous slot, and topOwner
+// computes the rendezvous-first member of that retained set — the worker
+// a moved key's entry actually lives on.
+func TestMembershipEpochs(t *testing.T) {
+	r := NewRemote([]string{"http://a:1", "http://b:1", "http://c:1"}, Options{})
+	epoch, prev := r.noteMembership(r.rank("k"))
+	if epoch != 1 || prev != nil {
+		t.Fatalf("first observation: epoch=%d prev=%v, want 1/nil", epoch, prev)
+	}
+	if e2, _ := r.noteMembership(r.rank("another")); e2 != 1 {
+		t.Fatalf("unchanged up-set bumped the epoch to %d", e2)
+	}
+
+	// Find a key c owns, then drop c: the key must move, and topOwner
+	// over the previous up-set must name c.
+	var moved string
+	for _, k := range []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"} {
+		if r.rank(k)[0].url == "http://c:1" {
+			moved = k
+			break
+		}
+	}
+	if moved == "" {
+		t.Skip("no probe key ranked c first (astronomically unlikely)")
+	}
+	r.SetWorkers([]string{"http://a:1", "http://b:1"})
+	epoch, prev = r.noteMembership(r.rank(moved))
+	if epoch != 2 {
+		t.Fatalf("membership change did not bump the epoch: %d", epoch)
+	}
+	if got := topOwner(moved, prev); got != "http://c:1" {
+		t.Fatalf("previous owner of moved key = %q, want the dropped worker", got)
+	}
+	if got := r.rank(moved)[0].url; got == "http://c:1" {
+		t.Fatal("dropped worker still ranked first")
+	}
+}
+
+// TestSetWorkersKeepsSurvivorStats checks a membership swap preserves the
+// counters and health state of members whose URL survives — churn must
+// not amnesia the operator's view of a long-lived worker.
+func TestSetWorkersKeepsSurvivorStats(t *testing.T) {
+	r := NewRemote([]string{"http://a:1", "http://b:1"}, Options{})
+	r.members[0].dispatched.Add(7)
+	r.members[0].failed.Add(2)
+	survivor := r.members[0].url
+	r.SetWorkers([]string{survivor, "http://d:1"})
+	st := r.Stats()
+	if len(st.Workers) != 2 {
+		t.Fatalf("got %d workers, want 2", len(st.Workers))
+	}
+	for _, wh := range st.Workers {
+		switch wh.URL {
+		case survivor:
+			if wh.Dispatched != 7 || wh.Failed != 2 {
+				t.Fatalf("survivor lost its counters: %+v", wh)
+			}
+		case "http://d:1":
+			if wh.Dispatched != 0 {
+				t.Fatalf("new member born with counters: %+v", wh)
+			}
+		default:
+			t.Fatalf("unexpected member %q", wh.URL)
+		}
 	}
 }
 

@@ -101,7 +101,13 @@ type WorkerHealth struct {
 	Dispatched int64 `json:"dispatched"`
 	Retried    int64 `json:"retried"`
 	Hedged     int64 `json:"hedged"`
-	Failed     int64 `json:"failed"`
+	// HedgedWasted counts races this worker lost after being dispatched:
+	// the other side answered first and this worker's in-flight request
+	// (even a late success) was discarded. Dispatched − HedgedWasted −
+	// Failed is the worker's useful-work count; without this column the
+	// loser's late success inflated Dispatched with no offsetting signal.
+	HedgedWasted int64 `json:"hedged_wasted"`
+	Failed       int64 `json:"failed"`
 	// LastError describes the most recent failure (empty when the
 	// worker has never failed); LastErrorUnixMS its wall-clock time.
 	LastError       string `json:"last_error,omitempty"`
@@ -121,6 +127,30 @@ type Stats struct {
 	// capacity silently moved back onto the coordinator.
 	RemoteClusters int64 `json:"remote_clusters"`
 	FallbackLocal  int64 `json:"fallback_local"`
+	// RemoteFactors counts Schwarz factor blocks the fleet factorized;
+	// FactorMisses the factor dispatches that failed (fleet down, retries
+	// exhausted, validation rejected the factor) and fell back to a local
+	// factorization inside the Schwarz builder. Like FallbackLocal, a
+	// nonzero FactorMisses means the build succeeded with capacity
+	// silently back on the coordinator.
+	RemoteFactors int64 `json:"remote_factors"`
+	FactorMisses  int64 `json:"factor_misses"`
+	// PeerFetches counts one-hop peer cache fetches workers reported
+	// attempting after a membership change moved a key; PeerHits the ones
+	// the previous owner served (no rebuild). MembershipEpoch is the
+	// current epoch counter — it bumps on every observed change of the
+	// up-set.
+	PeerFetches     int64 `json:"peer_fetches"`
+	PeerHits        int64 `json:"peer_hits"`
+	MembershipEpoch int64 `json:"membership_epoch"`
+	// StreamFirstResultMS / StreamLastResultMS are the most recent
+	// streamed dispatch's first- and last-result latencies;
+	// StreamOverlapSavedMS is the cumulative stitch time streamed builds
+	// overlapped with in-flight cluster builds (work the barrier path
+	// would have serialized after the slowest cluster).
+	StreamFirstResultMS  float64 `json:"stream_first_result_ms"`
+	StreamLastResultMS   float64 `json:"stream_last_result_ms"`
+	StreamOverlapSavedMS float64 `json:"stream_overlap_saved_ms"`
 
 	MeanLatencyMS float64         `json:"remote_mean_latency_ms"`
 	P50LatencyMS  float64         `json:"remote_p50_latency_ms"`

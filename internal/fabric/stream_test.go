@@ -1,0 +1,154 @@
+package fabric_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/shard"
+)
+
+// streamReqs fans one cluster out under distinct keys so completion
+// order and per-key accounting are observable.
+func streamReqs(t *testing.T, n int) []*shard.ClusterRequest {
+	t.Helper()
+	base := clusterReq(t)
+	reqs := make([]*shard.ClusterRequest, n)
+	for i := range reqs {
+		r := *base
+		r.Key = fmt.Sprintf("stream-key-%02d", i)
+		reqs[i] = &r
+	}
+	return reqs
+}
+
+// TestDispatchStreamDeliversAll: every request produces exactly one
+// Streamed outcome, each with correct edges, and the first/last-result
+// telemetry is ordered and populated.
+func TestDispatchStreamDeliversAll(t *testing.T) {
+	want := wantResult(t, clusterReq(t))
+	ts1, _ := startWorker(t, newMapCache(), nil)
+	ts2, _ := startWorker(t, newMapCache(), nil)
+	remote := fabric.NewRemote([]string{ts1.URL, ts2.URL}, fabric.Options{Retries: -1})
+
+	reqs := streamReqs(t, 8)
+	seen := make(map[string]bool)
+	for s := range remote.DispatchStream(context.Background(), reqs, 3) {
+		if s.Err != nil {
+			t.Fatalf("key %s: %v", s.Req.Key, s.Err)
+		}
+		if seen[s.Req.Key] {
+			t.Fatalf("key %s delivered twice", s.Req.Key)
+		}
+		seen[s.Req.Key] = true
+		if !reflect.DeepEqual(s.Res.Edges, want.Edges) {
+			t.Fatalf("key %s streamed wrong edges", s.Req.Key)
+		}
+	}
+	if len(seen) != len(reqs) {
+		t.Fatalf("stream delivered %d outcomes, want %d", len(seen), len(reqs))
+	}
+	st := remote.Stats()
+	if st.RemoteClusters != int64(len(reqs)) {
+		t.Fatalf("remote clusters = %d, want %d", st.RemoteClusters, len(reqs))
+	}
+	if st.StreamFirstResultMS <= 0 || st.StreamLastResultMS < st.StreamFirstResultMS {
+		t.Fatalf("stream latency telemetry inconsistent: first=%v last=%v",
+			st.StreamFirstResultMS, st.StreamLastResultMS)
+	}
+}
+
+// TestDispatchStreamCancelMidStream cancels the coordinator while slow
+// workers still hold most of the stream in flight, then asserts (a)
+// every request still produces exactly one outcome — the in-flight ones
+// with ctx.Err() — and (b) no producer goroutine outlives the drain.
+func TestDispatchStreamCancelMidStream(t *testing.T) {
+	var served atomic.Int64
+	release := make(chan struct{})
+	slow := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if served.Add(1) > 1 {
+				// Drain the body first: the net/http server only watches for
+				// client aborts once the request body is consumed, and the
+				// canceled dispatches must be able to kill these stalls.
+				io.Copy(io.Discard, r.Body)
+				select {
+				case <-release:
+				case <-r.Context().Done():
+					return
+				}
+			}
+			next.ServeHTTP(rw, r)
+		})
+	}
+	ts, _ := startWorker(t, newMapCache(), slow)
+	// Own the transport so the settle loop can retire idle keep-alive
+	// conns — their read/write loops would otherwise read as leaks.
+	tr := &http.Transport{}
+	remote := fabric.NewRemote([]string{ts.URL}, fabric.Options{
+		Retries: -1,
+		Client:  &http.Client{Transport: tr},
+	})
+	defer close(release)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	reqs := streamReqs(t, 8)
+	ch := remote.DispatchStream(ctx, reqs, 2)
+
+	// Take the one fast result, then cancel with the rest in flight.
+	first := <-ch
+	if first.Err != nil {
+		t.Fatalf("first streamed result failed: %v", first.Err)
+	}
+	cancel()
+
+	got := 1
+	var canceled int
+	for s := range ch {
+		got++
+		if s.Err != nil && ctx.Err() != nil {
+			canceled++
+		}
+	}
+	if got != len(reqs) {
+		t.Fatalf("canceled stream delivered %d outcomes, want %d (one per request)", got, len(reqs))
+	}
+	if canceled == 0 {
+		t.Fatal("cancellation produced no canceled outcomes")
+	}
+
+	// Leak check: producers and their HTTP machinery must wind down. The
+	// settle loop tolerates net/http's own transient goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tr.CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after canceled stream: %d before, %d after", before, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDispatchStreamEmpty: a zero-request stream closes immediately.
+func TestDispatchStreamEmpty(t *testing.T) {
+	remote := fabric.NewRemote(nil, fabric.Options{})
+	select {
+	case _, ok := <-remote.DispatchStream(context.Background(), nil, 4):
+		if ok {
+			t.Fatal("empty stream delivered an outcome")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("empty stream never closed")
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chol"
 	"repro/internal/graph"
 	"repro/internal/shard"
+	"repro/internal/sparse"
 	"repro/internal/sparsify"
 )
 
@@ -29,6 +31,99 @@ type ClusterPayload struct {
 	// Opts is the per-cluster construction configuration (seed already
 	// derived coordinator-side; it is part of the fingerprint).
 	Opts WireOptions `json:"opts"`
+	// Epoch is the coordinator's membership epoch at dispatch time, and
+	// PrevOwner the base URL of the worker that owned Key under the
+	// previous epoch (set only when membership changed and ownership
+	// moved). A peer-fetch-enabled worker that misses its cache uses them
+	// to try one GET /v2/cluster/{key} against the previous owner before
+	// rebuilding. Advisory metadata only: the fetching worker validates
+	// the fetched entry against this payload's own cluster edges, so
+	// stale epoch information can cost one wasted round trip but never
+	// serve a wrong-key result.
+	Epoch     int64  `json:"epoch,omitempty"`
+	PrevOwner string `json:"prev_owner,omitempty"`
+	// Factor, when non-nil, makes this a factorization job instead of a
+	// cluster build: the worker runs the deterministic sparse Cholesky on
+	// the shipped block and returns the serialized factor. Factor jobs
+	// carry no cluster section (N = 0, no edges) — the block already
+	// includes the overlap rows, which are assembled from the stitched
+	// global pencil that only the coordinator holds.
+	Factor *FactorSpec `json:"factor,omitempty"`
+}
+
+// FactorSpec is the SPD block of one remote factorization job: the
+// cluster's overlap-extended principal submatrix of the stitched pencil,
+// in full symmetric CSC storage. Values travel as JSON float64, which Go
+// round-trips exactly (shortest-representation encoding), so the worker
+// factorizes bit-for-bit the same matrix the coordinator would have.
+type FactorSpec struct {
+	N      int       `json:"n"`
+	ColPtr []int     `json:"colptr"`
+	RowIdx []int     `json:"rowidx"`
+	Val    []float64 `json:"val"`
+}
+
+// factorSpecOf serializes a block for transport.
+func factorSpecOf(a *sparse.CSC) *FactorSpec {
+	return &FactorSpec{N: a.Cols, ColPtr: a.ColPtr, RowIdx: a.RowIdx, Val: a.Val}
+}
+
+// csc validates the spec's shape and reassembles the block. Symmetry and
+// positive definiteness are not checked here; the factorization itself
+// rejects non-SPD input (chol.ErrNotPD).
+func (fs *FactorSpec) csc() (*sparse.CSC, error) {
+	n := fs.N
+	if n < 1 {
+		return nil, fmt.Errorf("factor block dimension %d", n)
+	}
+	if len(fs.ColPtr) != n+1 || fs.ColPtr[0] != 0 {
+		return nil, fmt.Errorf("factor block has %d column pointers for n=%d", len(fs.ColPtr), n)
+	}
+	nnz := fs.ColPtr[n]
+	if len(fs.RowIdx) != nnz || len(fs.Val) != nnz {
+		return nil, fmt.Errorf("factor block storage misaligned (%d pointers vs %d/%d entries)",
+			nnz, len(fs.RowIdx), len(fs.Val))
+	}
+	for j := 0; j < n; j++ {
+		if fs.ColPtr[j+1] < fs.ColPtr[j] {
+			return nil, fmt.Errorf("factor block column %d has decreasing pointers", j)
+		}
+	}
+	for _, i := range fs.RowIdx {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("factor block row index %d outside n=%d", i, n)
+		}
+	}
+	for _, v := range fs.Val {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return nil, fmt.Errorf("factor block has non-finite entry %g", v)
+		}
+	}
+	return &sparse.CSC{Rows: n, Cols: n, ColPtr: fs.ColPtr, RowIdx: fs.RowIdx, Val: fs.Val}, nil
+}
+
+// WireFactor is a serialized chol.Factor: the lower-triangular factor L
+// (diagonal first per column, chol.New's layout) plus the fill-reducing
+// permutation. The inverse permutation is deliberately absent — the
+// receiver recomputes it rather than trusting the wire.
+type WireFactor struct {
+	N      int       `json:"n"`
+	Perm   []int     `json:"perm"`
+	ColPtr []int     `json:"colptr"`
+	RowIdx []int     `json:"rowidx"`
+	Val    []float64 `json:"val"`
+}
+
+// wireFactorOf serializes a factor for transport.
+func wireFactorOf(f *chol.Factor) *WireFactor {
+	return &WireFactor{N: f.N, Perm: f.Perm, ColPtr: f.L.ColPtr, RowIdx: f.L.RowIdx, Val: f.L.Val}
+}
+
+// factor reassembles and validates the factor (chol.FromParts performs
+// the full structural and SPD-witness validation).
+func (wf *WireFactor) factor() (*chol.Factor, error) {
+	l := &sparse.CSC{Rows: wf.N, Cols: wf.N, ColPtr: wf.ColPtr, RowIdx: wf.RowIdx, Val: wf.Val}
+	return chol.FromParts(wf.N, l, wf.Perm)
 }
 
 // WireOptions is the construction parameter block as it travels to a
@@ -132,16 +227,27 @@ func (p *ClusterPayload) clusterRequest() (*shard.ClusterRequest, error) {
 // ClusterResponse is the POST /v2/cluster response body: the cluster's
 // sparsifier as global endpoint pairs — the index-free representation
 // the cluster caches store — plus construction stats (durations in
-// nanoseconds). A reserved field carries the cluster's Schwarz factor in
-// a future revision; today factors stay coordinator-side because they
-// are built from the stitched global pencil (overlap rows cross cluster
-// boundaries), which the worker never sees.
+// nanoseconds). Factor jobs (ClusterPayload.Factor set) return the
+// serialized factor instead of edges. GET /v2/cluster/{key} peer fetches
+// return the cached edges with Key echoed so the fetcher can verify it
+// got the entry it asked for.
 type ClusterResponse struct {
-	Edges [][2]int       `json:"edges"`
+	Edges [][2]int       `json:"edges,omitempty"`
 	Stats sparsify.Stats `json:"stats"`
 	// Cached reports the worker served the result from its local
 	// cluster cache without rebuilding.
 	Cached bool `json:"cached,omitempty"`
+	// Key echoes the request's cluster fingerprint on peer-fetch (GET)
+	// responses.
+	Key string `json:"key,omitempty"`
+	// Factor is the serialized Cholesky factor of a factor job's block.
+	Factor *WireFactor `json:"factor,omitempty"`
+	// PeerFetch reports what the worker's one-hop peer fetch did for this
+	// request: "hit" (the previous owner served the entry, no rebuild) or
+	// "miss" (fetch attempted, fell through to a normal build). Empty
+	// when no fetch was attempted. The coordinator folds these into its
+	// fleet telemetry.
+	PeerFetch string `json:"peer_fetch,omitempty"`
 }
 
 // errorResponse mirrors the serving layer's structured error shape.

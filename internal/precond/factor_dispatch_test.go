@@ -1,0 +1,132 @@
+package precond_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/chol"
+	"repro/internal/gen"
+	"repro/internal/precond"
+	"repro/internal/solver"
+)
+
+// fakeFactorDispatcher stands in for the fabric: it either factorizes
+// the shipped block exactly as a well-behaved worker would (chol.New on
+// the exact bytes it received), or fails every job.
+type fakeFactorDispatcher struct {
+	fail  bool
+	calls atomic.Int64
+}
+
+func (d *fakeFactorDispatcher) DispatchFactor(ctx context.Context, req *precond.FactorRequest) (*chol.Factor, error) {
+	d.calls.Add(1)
+	if d.fail {
+		return nil, errors.New("fleet unreachable")
+	}
+	return chol.New(req.Sub, chol.Options{})
+}
+
+func clusterKeys(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = string(rune('a' + i))
+	}
+	return keys
+}
+
+// applyVec runs one preconditioner application on a fixed random vector.
+func applyVec(p solver.Preconditioner, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	z := make([]float64, n)
+	p.Apply(z, r)
+	return z
+}
+
+// TestSchwarzRemoteFactorsBitIdentical: a dispatcher that factorizes the
+// shipped block must change nothing about the preconditioner — the apply
+// agrees with the local build to the last bit — while the stats say the
+// factors came from the fleet.
+func TestSchwarzRemoteFactorsBitIdentical(t *testing.T) {
+	g := gen.CircuitGrid(18, 18, 0.05, 3)
+	a := laplacianOf(g)
+	assign := stripes(g.N, 4)
+	keys := clusterKeys(4)
+
+	local, lst, err := precond.NewSchwarz(assign, precond.SchwarzOptions{Keys: keys}).Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.FactorsRemote != 0 {
+		t.Fatalf("local build claims %d remote factors", lst.FactorsRemote)
+	}
+
+	d := &fakeFactorDispatcher{}
+	remote, rst, err := precond.NewSchwarz(assign, precond.SchwarzOptions{Keys: keys, Factors: d}).Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.FactorsRemote != 4 || d.calls.Load() != 4 {
+		t.Fatalf("remote factors = %d (dispatcher saw %d), want 4", rst.FactorsRemote, d.calls.Load())
+	}
+	zl, zr := applyVec(local, g.N, 7), applyVec(remote, g.N, 7)
+	for i := range zl {
+		if zl[i] != zr[i] {
+			t.Fatalf("apply differs at %d: local %g, remote %g", i, zl[i], zr[i])
+		}
+	}
+}
+
+// TestSchwarzFactorDispatchFailureFallsBackLocal: an unreachable fleet
+// costs the dispatch attempts, nothing else — every factor builds
+// locally and the preconditioner is the bit-identical local one.
+func TestSchwarzFactorDispatchFailureFallsBackLocal(t *testing.T) {
+	g := gen.CircuitGrid(18, 18, 0.05, 3)
+	a := laplacianOf(g)
+	assign := stripes(g.N, 4)
+	keys := clusterKeys(4)
+
+	local, _, err := precond.NewSchwarz(assign, precond.SchwarzOptions{Keys: keys}).Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &fakeFactorDispatcher{fail: true}
+	fb, st, err := precond.NewSchwarz(assign, precond.SchwarzOptions{Keys: keys, Factors: d}).Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FactorsRemote != 0 {
+		t.Fatalf("failing dispatcher credited with %d remote factors", st.FactorsRemote)
+	}
+	if d.calls.Load() != 4 {
+		t.Fatalf("dispatcher attempted %d jobs, want 4 (one per cluster)", d.calls.Load())
+	}
+	zl, zf := applyVec(local, g.N, 7), applyVec(fb, g.N, 7)
+	for i := range zl {
+		if math.Abs(zl[i]-zf[i]) != 0 {
+			t.Fatalf("fallback apply differs at %d: %g vs %g", i, zl[i], zf[i])
+		}
+	}
+}
+
+// TestSchwarzNoKeysNoDispatch: without cluster keys there is no remote
+// placement identity, so the dispatcher must never be consulted.
+func TestSchwarzNoKeysNoDispatch(t *testing.T) {
+	g := gen.Grid2D(12, 12, 2)
+	a := laplacianOf(g)
+	d := &fakeFactorDispatcher{}
+	_, st, err := precond.NewSchwarz(stripes(g.N, 3), precond.SchwarzOptions{Factors: d}).Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.calls.Load() != 0 || st.FactorsRemote != 0 {
+		t.Fatalf("keyless build dispatched %d factor jobs", d.calls.Load())
+	}
+}

@@ -128,6 +128,16 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 		adoptIdx = loc.adoptByIndex(g, plan, dirtyCluster)
 	}
 
+	// A streaming dispatcher unlocks the overlapped build: results drain
+	// in completion order while the stitch's cut-forest accumulation runs
+	// concurrently, instead of idling at the collection barrier below.
+	// ER builds are excluded for the same reason they skip dispatch, and
+	// localized rebuilds keep the barrier (their stitch reads base-build
+	// membership that adoption is still writing).
+	if sd, ok := opts.Dispatcher.(StreamDispatcher); ok && !erMode && loc == nil {
+		return runStreamed(ctx, g, plan, opts, sd, o, workers, buildStart, inSub, perShard, phases, errs, keys)
+	}
+
 	// Each worker owns the clusters it pulls; the per-cluster option set
 	// pins Workers to 1 so parallelism lives at the cluster level only
 	// (nested scoring pools would oversubscribe and thrash scratch space).
@@ -225,15 +235,6 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 		}
 	}
 	buildTime := time.Since(buildStart)
-	reused, remote := 0, 0
-	for i := range perShard {
-		if perShard[i].Reused {
-			reused++
-		}
-		if perShard[i].Remote {
-			remote++
-		}
-	}
 
 	// Stitch. The cut edges' spanning structure first: a maximum-weight
 	// spanning forest of the cut-edge graph over the *vertices* (by
@@ -264,76 +265,165 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 			}
 		}
 	} else {
-		cut := append([]int(nil), plan.CutEdges...)
-		sortCutByWeight(g, cut)
-		d := dsu.New(g.N)
-		remaining := make([]int, 0, len(cut))
-		for _, e := range cut {
-			ed := g.Edges[e]
-			if d.Union(ed.U, ed.V) {
-				inSub[e] = true
-				retained++
-			} else {
-				remaining = append(remaining, e)
-			}
-		}
-
-		// Global recovery round over the remaining cut edges. The quota keeps
-		// the stitched size comparable to a monolithic build: the per-cluster
-		// runs already spent ≈ α·Σn_c = α·N, so the boundary gets the same
-		// α fraction of its own candidate pool (at least one edge per planned
-		// bridge, so thin cuts still get reinforced).
-		alpha := o.Alpha
-		if alpha <= 0 {
-			alpha = 0.10
-		}
-		quota := int(alpha * float64(len(plan.CutEdges)))
-		if quota < plan.K {
-			quota = plan.K
-		}
-		if len(remaining) <= quota {
-			// Selection only matters when the candidate pool exceeds the
-			// budget; factorizing the whole stitched subgraph to rank a pool
-			// that fits the quota anyway would be the single most expensive
-			// no-op in the pipeline (grid-like graphs land here: the cut
-			// forest already retained almost every seam edge).
-			for _, e := range remaining {
-				inSub[e] = true
-			}
-			recovered = len(remaining)
-		} else {
-			var err error
-			recovered, err = sparsify.RecoverOffSubgraph(ctx, g, inSub, remaining, quota, o)
-			if err != nil {
-				return nil, err
-			}
+		var remaining []int
+		retained, remaining = cutForest(g, plan, inSub)
+		var err error
+		recovered, err = recoverCut(ctx, g, plan, inSub, remaining, o)
+		if err != nil {
+			return nil, err
 		}
 	}
 	stitchTime := time.Since(stitchStart)
 
+	st := &sparsify.ShardStats{
+		CutRetained:     retained,
+		CutRecovered:    recovered,
+		StitchLocalized: loc != nil,
+		CutAdopted:      adopted,
+		CutRepaired:     repaired,
+		DirtyClusters:   dirtyCount,
+		BuildTime:       buildTime,
+		StitchTime:      stitchTime,
+	}
+	return finishRun(g, plan, o, inSub, reweight, perShard, phases, keys, st), nil
+}
+
+// runStreamed is Run's overlapped build path: the clusters that need a
+// fresh build are collected by a sequential pre-pass (cache adoption and
+// tiny-cluster shortcuts resolve inline, exactly as the pooled path
+// decides them), every pending request goes through the dispatcher's
+// stream, and the stitch's cut-forest accumulation runs concurrently
+// with the drain. The concurrency is sound by construction: cut edges
+// cross clusters, cluster sparsifier edges do not, so the forest
+// goroutine and the drain loop write disjoint inSub elements. The
+// recovery round — which reads all of inSub — waits for both.
+func runStreamed(ctx context.Context, g *graph.Graph, plan *Plan, opts Options, sd StreamDispatcher, o sparsify.Options, workers int, buildStart time.Time, inSub []bool, perShard []sparsify.ShardBuild, phases []sparsify.Stats, errs []error, keys []string) (*sparsify.Result, error) {
+	var reqs []*ClusterRequest
+	for ci := range plan.Clusters {
+		cl := &plan.Clusters[ci]
+		seed := clusterSeed(o.Seed, ci)
+		keys[ci] = ClusterKey(cl, seed, o)
+		if opts.Cache != nil {
+			if pairs, ok := opts.Cache.GetCluster(keys[ci]); ok && adoptCluster(g, cl, pairs, inSub, &perShard[ci]) {
+				continue
+			}
+		}
+		perShard[ci].Vertices = cl.Local.N
+		perShard[ci].Edges = cl.Local.M()
+		if cl.Local.M() <= tinyClusterEdges {
+			start := time.Now()
+			for _, ge := range cl.GlobalEdge {
+				inSub[ge] = true
+			}
+			perShard[ci].SparsifierEdges = cl.Local.M()
+			perShard[ci].Time = time.Since(start)
+			continue
+		}
+		co := o
+		co.Workers = 1
+		co.Seed = seed
+		reqs = append(reqs, &ClusterRequest{Index: ci, Key: keys[ci], Cluster: cl, Opts: co})
+	}
+
+	streamStart := time.Now()
+	type forestOut struct {
+		retained  int
+		remaining []int
+		elapsed   time.Duration
+		done      time.Time
+	}
+	forestCh := make(chan forestOut, 1)
+	go func() {
+		fs := time.Now()
+		ret, rem := cutForest(g, plan, inSub)
+		forestCh <- forestOut{ret, rem, time.Since(fs), time.Now()}
+	}()
+
+	for s := range sd.DispatchStream(ctx, reqs, workers) {
+		ci := s.Req.Index
+		if s.Err != nil {
+			errs[ci] = s.Err
+			continue
+		}
+		if !adoptWeighted(g, s.Res, inSub, nil) {
+			errs[ci] = fmt.Errorf("shard: cluster %d: dispatched result contains edges not in the graph", ci)
+			continue
+		}
+		phases[ci] = s.Res.Stats
+		perShard[ci].SparsifierEdges = len(s.Res.Edges)
+		perShard[ci].Remote = s.Res.Remote
+		// Results land in completion order, so the per-cluster wall clock
+		// is not observable here; Time records completion latency from
+		// stream start instead.
+		perShard[ci].Time = time.Since(streamStart)
+		if opts.Cache != nil {
+			opts.Cache.AddCluster(keys[ci], s.Res.Edges)
+		}
+	}
+	drainDone := time.Now()
+	fo := <-forestCh
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	buildTime := time.Since(buildStart)
+
+	// Overlap saved: the slice of forest work that ran while builds were
+	// still in flight — what the barrier path would have serialized.
+	end := fo.done
+	if drainDone.Before(end) {
+		end = drainDone
+	}
+	var overlapSaved time.Duration
+	if d := end.Sub(streamStart); d > 0 {
+		overlapSaved = d
+	}
+	if obs, ok := opts.Dispatcher.(OverlapObserver); ok {
+		obs.NoteOverlapSaved(overlapSaved)
+	}
+
+	recStart := time.Now()
+	recovered, err := recoverCut(ctx, g, plan, inSub, fo.remaining, o)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &sparsify.ShardStats{
+		CutRetained:        fo.retained,
+		CutRecovered:       recovered,
+		BuildTime:          buildTime,
+		StitchTime:         fo.elapsed + time.Since(recStart),
+		Streamed:           true,
+		StreamOverlapSaved: overlapSaved,
+	}
+	return finishRun(g, plan, o, inSub, nil, perShard, phases, keys, st), nil
+}
+
+// finishRun fills the plan-derived and aggregate ShardStats fields and
+// assembles the sparsify.Result both build paths share.
+func finishRun(g *graph.Graph, plan *Plan, o sparsify.Options, inSub []bool, reweight []float64, perShard []sparsify.ShardBuild, phases []sparsify.Stats, keys []string, st *sparsify.ShardStats) *sparsify.Result {
+	for i := range perShard {
+		if perShard[i].Reused {
+			st.ClustersReused++
+		}
+		if perShard[i].Remote {
+			st.ClustersRemote++
+		}
+	}
+	st.Shards = plan.K
+	st.FallbackSplits = plan.FallbackSplits
+	st.CutEdges = len(plan.CutEdges)
+	st.CutFraction = cutFractionOf(g, plan)
+	st.PlanTime = plan.PlanTime
+	st.Assign = plan.Assign
+	st.ClusterKeys = keys
+	st.PerShard = perShard
+
 	res := &sparsify.Result{
-		InSub: inSub,
-		Shift: lap.Shift(g, o.ShiftRel),
-		Shards: &sparsify.ShardStats{
-			Shards:          plan.K,
-			FallbackSplits:  plan.FallbackSplits,
-			CutEdges:        len(plan.CutEdges),
-			CutFraction:     cutFractionOf(g, plan),
-			CutRetained:     retained,
-			CutRecovered:    recovered,
-			ClustersReused:  reused,
-			ClustersRemote:  remote,
-			StitchLocalized: loc != nil,
-			CutAdopted:      adopted,
-			CutRepaired:     repaired,
-			DirtyClusters:   dirtyCount,
-			PlanTime:        plan.PlanTime,
-			BuildTime:       buildTime,
-			StitchTime:      stitchTime,
-			Assign:          plan.Assign,
-			ClusterKeys:     keys,
-			PerShard:        perShard,
-		},
+		InSub:  inSub,
+		Shift:  lap.Shift(g, o.ShiftRel),
+		Shards: st,
 	}
 	res.Reweight = reweight
 	for e, in := range inSub {
@@ -342,7 +432,7 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 		}
 	}
 	res.Sparsifier = sparsify.WeightedSubgraph(g, res.EdgeIdx, res.Reweight)
-	res.Stats.Total = plan.PlanTime + buildTime + stitchTime
+	res.Stats.Total = plan.PlanTime + st.BuildTime + st.StitchTime
 	res.Stats.EdgesAdded = len(res.EdgeIdx) - (g.N - 1)
 	// Phase times aggregate CPU across clusters (they exceed the wall
 	// clock when clusters built concurrently); Rounds reports the deepest
@@ -358,7 +448,56 @@ func Run(ctx context.Context, g *graph.Graph, plan *Plan, opts Options) (*sparsi
 	if res.Stats.Rounds == 0 {
 		res.Stats.Rounds = 1
 	}
-	return res, nil
+	return res
+}
+
+// cutForest retains a maximum-weight spanning forest of the cut edges
+// over the vertices (by descending weight, the same preference MEWST
+// applies inside a cluster), marking retained edges into inSub and
+// returning the rest for the recovery round.
+func cutForest(g *graph.Graph, plan *Plan, inSub []bool) (retained int, remaining []int) {
+	cut := append([]int(nil), plan.CutEdges...)
+	sortCutByWeight(g, cut)
+	d := dsu.New(g.N)
+	remaining = make([]int, 0, len(cut))
+	for _, e := range cut {
+		ed := g.Edges[e]
+		if d.Union(ed.U, ed.V) {
+			inSub[e] = true
+			retained++
+		} else {
+			remaining = append(remaining, e)
+		}
+	}
+	return retained, remaining
+}
+
+// recoverCut is the global recovery round over the remaining cut edges.
+// The quota keeps the stitched size comparable to a monolithic build:
+// the per-cluster runs already spent ≈ α·Σn_c = α·N, so the boundary
+// gets the same α fraction of its own candidate pool (at least one edge
+// per planned bridge, so thin cuts still get reinforced). When the pool
+// fits the quota anyway, every edge is admitted without scoring —
+// factorizing the whole stitched subgraph to rank a pool that fits
+// would be the single most expensive no-op in the pipeline (grid-like
+// graphs land here: the cut forest already retained almost every seam
+// edge).
+func recoverCut(ctx context.Context, g *graph.Graph, plan *Plan, inSub []bool, remaining []int, o sparsify.Options) (int, error) {
+	alpha := o.Alpha
+	if alpha <= 0 {
+		alpha = 0.10
+	}
+	quota := int(alpha * float64(len(plan.CutEdges)))
+	if quota < plan.K {
+		quota = plan.K
+	}
+	if len(remaining) <= quota {
+		for _, e := range remaining {
+			inSub[e] = true
+		}
+		return len(remaining), nil
+	}
+	return sparsify.RecoverOffSubgraph(ctx, g, inSub, remaining, quota, o)
 }
 
 // cutFractionOf returns the plan's cut-edge share of the input edges.

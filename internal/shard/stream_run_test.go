@@ -1,0 +1,114 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/shard"
+	"repro/internal/sparsify"
+)
+
+// scrambleStream is an in-process StreamDispatcher that deliberately
+// delivers results out of request order (later requests finish first),
+// exercising the completion-order drain of the streamed Run path with no
+// network in the loop. It also records the overlap telemetry callback.
+type scrambleStream struct {
+	mu           sync.Mutex
+	streamed     int
+	overlapCalls int
+	fail         error // when set, the last request errors
+}
+
+func (s *scrambleStream) Dispatch(ctx context.Context, req *shard.ClusterRequest) (*shard.ClusterResult, error) {
+	return shard.BuildCluster(ctx, req)
+}
+
+func (s *scrambleStream) DispatchStream(ctx context.Context, reqs []*shard.ClusterRequest, limit int) <-chan shard.Streamed {
+	s.mu.Lock()
+	s.streamed += len(reqs)
+	s.mu.Unlock()
+	out := make(chan shard.Streamed, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r *shard.ClusterRequest) {
+			defer wg.Done()
+			// Earlier requests straggle so completion order inverts.
+			time.Sleep(time.Duration(len(reqs)-i) * 2 * time.Millisecond)
+			if s.fail != nil && i == len(reqs)-1 {
+				out <- shard.Streamed{Req: r, Err: s.fail}
+				return
+			}
+			res, err := shard.BuildCluster(ctx, r)
+			out <- shard.Streamed{Req: r, Res: res, Err: err}
+		}(i, r)
+	}
+	go func() { wg.Wait(); close(out) }()
+	return out
+}
+
+func (s *scrambleStream) NoteOverlapSaved(d time.Duration) {
+	if d < 0 {
+		panic("negative overlap")
+	}
+	s.mu.Lock()
+	s.overlapCalls++
+	s.mu.Unlock()
+}
+
+// TestStreamedRunMatchesPooled: the streamed path must produce the
+// bit-identical sparsifier of the pooled in-process path — completion
+// order, overlapped stitching, and the dispatcher seam change the
+// schedule, never the result.
+func TestStreamedRunMatchesPooled(t *testing.T) {
+	g := gen.Grid2D(32, 32, 5)
+	o := shard.Options{Shards: 3, Sparsify: sparsify.Options{Seed: 9, Workers: 4}}
+
+	pooled, err := shard.Sparsify(context.Background(), g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.Shards.Streamed {
+		t.Fatal("pooled run reported itself streamed")
+	}
+
+	sd := &scrambleStream{}
+	so := o
+	so.Dispatcher = sd
+	streamed, err := shard.Sparsify(context.Background(), g, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamed.Shards.Streamed {
+		t.Fatal("stream dispatcher configured but the run did not stream")
+	}
+	if sd.streamed == 0 {
+		t.Fatal("no requests went through DispatchStream")
+	}
+	if sd.overlapCalls != 1 {
+		t.Fatalf("overlap telemetry reported %d times, want 1", sd.overlapCalls)
+	}
+	if len(pooled.EdgeIdx) != len(streamed.EdgeIdx) {
+		t.Fatalf("paths disagree on size: %d vs %d", len(pooled.EdgeIdx), len(streamed.EdgeIdx))
+	}
+	for i := range pooled.EdgeIdx {
+		if pooled.EdgeIdx[i] != streamed.EdgeIdx[i] {
+			t.Fatalf("paths disagree at edge %d: %d vs %d", i, pooled.EdgeIdx[i], streamed.EdgeIdx[i])
+		}
+	}
+}
+
+// TestStreamedRunPropagatesErrors: a cluster that fails mid-stream must
+// fail the build after the stream drains — not hang, not half-stitch.
+func TestStreamedRunPropagatesErrors(t *testing.T) {
+	g := gen.Grid2D(32, 32, 5)
+	boom := errors.New("worker exploded")
+	o := shard.Options{Shards: 3, Dispatcher: &scrambleStream{fail: boom}, Sparsify: sparsify.Options{Seed: 9}}
+	if _, err := shard.Sparsify(context.Background(), g, o); !errors.Is(err, boom) {
+		t.Fatalf("streamed failure surfaced as %v, want the dispatch error", err)
+	}
+}

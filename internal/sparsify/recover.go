@@ -83,6 +83,14 @@ type ShardStats struct {
 	// degraded to the local fallback.
 	ClustersRemote int
 
+	// Streamed reports the build drained dispatcher results over a
+	// stream, overlapping the stitch's cut-forest accumulation with the
+	// in-flight cluster builds; StreamOverlapSaved is the stitch time
+	// hidden inside the build window that way (the barrier path would
+	// have serialized it after the slowest cluster).
+	Streamed           bool
+	StreamOverlapSaved time.Duration
+
 	PerShard []ShardBuild
 }
 
